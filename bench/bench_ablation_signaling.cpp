@@ -1,0 +1,73 @@
+// Ablation A1 (paper §IV): selective signaling — request a completion only
+// on every Nth send WR.
+//
+// Two workloads make the mechanism visible from both sides:
+//  * strict ping-pong latency: send completions arrive while the thread
+//    idles for the echo, so their handling cost is absorbed — latency is
+//    flat across N. (The paper's Fig-3 gain comes from its *blocking*
+//    Send/Receive baseline, which waits for every send's coalesced ack;
+//    see bench_fig3_micro.)
+//  * windowed throughput (16 outstanding): the consumer thread is busy,
+//    so every completion event it must read and acknowledge costs real
+//    time — here N=1 visibly loses.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/echo_kit.hpp"
+
+using namespace rubin;
+using namespace rubin::bench;
+using namespace rubin::workloads;
+
+int main() {
+  print_header("Ablation A1 — selective signaling (RDMA channel echo)",
+               "signal every Nth send; N=1 is the unoptimized baseline");
+
+  const std::vector<std::uint32_t> intervals{1, 4, 16, 64};
+  const std::vector<std::size_t> payloads{1024, 4096, 8 * 1024, 16 * 1024,
+                                          64 * 1024};
+
+  std::printf("--- ping-pong latency (us): completion handling hides in idle waits ---\n");
+  print_row({"payload", "N=1", "N=4", "N=16", "N=64"});
+  for (std::size_t payload : payloads) {
+    EchoParams p;
+    p.payload = payload;
+    p.messages = 400;
+    std::vector<std::string> cells{kb(payload)};
+    for (std::uint32_t n : intervals) {
+      nio::ChannelConfig cfg = default_channel_config(payload);
+      cfg.signal_interval = n;
+      cells.push_back(fmt(run_channel_echo(p, cfg).latency_us));
+    }
+    print_row(cells);
+  }
+
+  std::printf("\n--- windowed throughput (krps, 16 outstanding): events now cost ---\n");
+  print_row({"payload", "N=1", "N=4", "N=16", "N=64", "N1->N16"});
+  double best_gain = 0;
+  std::size_t best_payload = 0;
+  for (std::size_t payload : payloads) {
+    EchoParams p;
+    p.payload = payload;
+    p.messages = 600;
+    std::vector<double> krps;
+    for (std::uint32_t n : intervals) {
+      nio::ChannelConfig cfg = default_channel_config(payload);
+      cfg.signal_interval = n;
+      krps.push_back(run_channel_echo_windowed(p, cfg, 16).krps);
+    }
+    const double gain = 100.0 * (krps[2] / krps[0] - 1.0);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_payload = payload;
+    }
+    print_row({kb(payload), fmt(krps[0], 2), fmt(krps[1], 2), fmt(krps[2], 2),
+               fmt(krps[3], 2), fmt(gain) + "%"});
+  }
+  std::printf(
+      "\npeak throughput gain from selective signaling: %.1f %% at %s\n"
+      "(paper: up to 30 %% latency gain below 16KB vs the blocking\n"
+      "Send/Receive baseline — reproduced in bench_fig3_micro)\n",
+      best_gain, kb(best_payload).c_str());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Extension E4 — the paper's central claim, measured: "The Java NIO
+// selector enables efficient handling of multiple network connections
+// using only a single thread" (§III), and RUBIN "can handle multiple
+// network connections efficiently with a single thread" (abstract).
+//
+// One echo server thread (one selector) serves K concurrent clients, each
+// keeping a small window of 1 KB messages in flight. Aggregate throughput
+// vs K shows how the single-thread multiplexing holds up — and which
+// selector (epoll/TCP vs RUBIN/RDMA) saturates first.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "net/fabric.hpp"
+#include "reptor/echo_stack.hpp"
+#include "reptor/transport_nio.hpp"
+#include "reptor/transport_rubin.hpp"
+#include "rubin/context.hpp"
+#include "tcpsim/tcp.hpp"
+#include "verbs/cm.hpp"
+
+using namespace rubin;
+using namespace rubin::bench;
+using namespace rubin::reptor;
+
+namespace {
+
+double run_fanin(bool use_rubin, std::uint32_t k_clients,
+                 std::uint64_t msgs_per_client) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, net::CostModel::roce_10g(), 1 + k_clients);
+  GroupLayout layout;
+  layout.replica_count = 1;  // the echo server
+  for (net::HostId h = 0; h < 1 + k_clients; ++h) layout.hosts.push_back(h);
+
+  std::unique_ptr<tcpsim::TcpNetwork> tcp;
+  std::unique_ptr<verbs::ConnectionManager> cm;
+  std::vector<std::unique_ptr<verbs::Device>> devs;
+  std::vector<std::unique_ptr<nio::RubinContext>> ctxs;
+
+  auto make_transport = [&](NodeId id) -> std::unique_ptr<Transport> {
+    if (use_rubin) {
+      return std::make_unique<RubinTransport>(*ctxs[id], layout, id);
+    }
+    return std::make_unique<NioTransport>(*tcp, layout, id);
+  };
+  if (use_rubin) {
+    cm = std::make_unique<verbs::ConnectionManager>(fabric);
+    for (net::HostId h = 0; h < 1 + k_clients; ++h) {
+      devs.push_back(std::make_unique<verbs::Device>(fabric, h));
+      ctxs.push_back(std::make_unique<nio::RubinContext>(*devs.back(), *cm));
+    }
+  } else {
+    tcp = std::make_unique<tcpsim::TcpNetwork>(fabric);
+  }
+
+  auto server = std::make_unique<EchoServer>(sim, make_transport(0));
+  sim.spawn(server->run());
+
+  std::vector<std::unique_ptr<EchoClient>> clients;
+  for (std::uint32_t c = 1; c <= k_clients; ++c) {
+    EchoClientConfig ecfg;
+    ecfg.payload = 1024;
+    ecfg.window = 4;
+    ecfg.messages = msgs_per_client;
+    clients.push_back(
+        std::make_unique<EchoClient>(sim, make_transport(c), ecfg));
+    sim.spawn(clients.back()->run());
+  }
+
+  sim.run_until(sim::seconds(60));
+  server->stop();
+  sim.run_until(sim.now() + sim::milliseconds(5));
+
+  double total_rps = 0;
+  for (auto& c : clients) {
+    const EchoResult r = c->result();
+    if (r.completed < msgs_per_client) return -1.0;  // stalled: report it
+    total_rps += r.requests_per_second;
+  }
+  return total_rps;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "E4 — single selector thread, many connections (1KB echo, window 4)",
+      "aggregate throughput of one server thread vs number of clients");
+
+  print_row({"clients", "TCP(NIO) rps", "Rubin rps", "rdma-vs-tcp"});
+  double tcp1 = 0;
+  double tcp_last = 0;
+  double rdma1 = 0;
+  double rdma_last = 0;
+  for (std::uint32_t k : {1u, 4u, 16u, 48u}) {
+    const std::uint64_t per_client = 2000 / k + 100;
+    const double tcp = run_fanin(false, k, per_client);
+    const double rdma = run_fanin(true, k, per_client);
+    if (k == 1) {
+      tcp1 = tcp;
+      rdma1 = rdma;
+    }
+    tcp_last = tcp;
+    rdma_last = rdma;
+    print_row({std::to_string(k), fmt(tcp, 0), fmt(rdma, 0),
+               fmt(100.0 * (rdma / tcp - 1.0)) + "%"});
+  }
+  std::printf(
+      "\nscaling 1 -> 48 clients: TCP %.1fx, RUBIN %.1fx aggregate.\n"
+      "One thread really does multiplex dozens of RDMA connections — the\n"
+      "hybrid event queue merges all their completion events into one\n"
+      "select() stream (paper Fig. 2), while epoll does the same for TCP.\n",
+      tcp_last / tcp1, rdma_last / rdma1);
+  return 0;
+}

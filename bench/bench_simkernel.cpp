@@ -1,0 +1,69 @@
+// Wall-clock microbenchmarks of the simulation substrate itself (google-
+// benchmark): event-queue throughput, coroutine switch cost, and a full
+// RDMA-channel echo round trip. These bound how much simulated traffic
+// the reproduction can push per CPU-second — useful when sizing bigger
+// experiments, and the one place where real time (not virtual time) is
+// the right metric.
+#include <benchmark/benchmark.h>
+
+#include "net/fabric.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/echo_kit.hpp"
+
+namespace {
+
+using namespace rubin;
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Mailbox<int> a(sim);
+    sim::Mailbox<int> b(sim);
+    sim.spawn([](sim::Mailbox<int>& a, sim::Mailbox<int>& b) -> sim::Task<> {
+      for (int i = 0; i < 500; ++i) {
+        a.push(i);
+        (void)co_await b.recv();
+      }
+    }(a, b));
+    sim.spawn([](sim::Mailbox<int>& a, sim::Mailbox<int>& b) -> sim::Task<> {
+      for (int i = 0; i < 500; ++i) {
+        (void)co_await a.recv();
+        b.push(i);
+      }
+    }(a, b));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_RdmaChannelEcho(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    workloads::EchoParams p;
+    p.payload = payload;
+    p.messages = 100;
+    benchmark::DoNotOptimize(workloads::run_channel_echo(
+        p, workloads::default_channel_config(payload)));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_RdmaChannelEcho)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Shared helpers for the benchmark binaries: fixed-width table printing
+// and the payload grid the paper sweeps (1–100 KB).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rubin::bench {
+
+inline const std::vector<std::size_t>& paper_payloads() {
+  static const std::vector<std::size_t> kPayloads{
+      1 * 1024,  2 * 1024,  4 * 1024,  8 * 1024,
+      16 * 1024, 32 * 1024, 64 * 1024, 100 * 1024};
+  return kPayloads;
+}
+
+inline void print_header(const char* title, const char* caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", title, caption);
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& c : cells) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string kb(std::size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zuKB", bytes / 1024);
+  return buf;
+}
+
+/// "who wins by what factor" line used by the shape checks at the end of
+/// each bench.
+inline void print_ratio(const char* label, double ratio_percent) {
+  std::printf("  %-58s %6.1f %%\n", label, ratio_percent);
+}
+
+}  // namespace rubin::bench

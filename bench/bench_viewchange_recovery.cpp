@@ -1,0 +1,95 @@
+// Extension E5 — fault recovery latency: the primary crash-stops mid-run
+// and the group's view change restores service. The client-visible outage
+// is (detection timeout + view-change protocol + re-proposal), so the
+// recovery time tracks the watchdog setting — the availability/latency
+// trade-off every BFT deployment tunes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/bft_harness.hpp"
+
+using namespace rubin;
+using namespace rubin::bench;
+using namespace rubin::reptor;
+
+namespace {
+
+struct Recovery {
+  double steady_us = 0;   // median latency before the crash
+  double outage_us = 0;   // worst request latency across the crash
+  double after_us = 0;    // median latency after recovery
+  std::uint64_t final_view = 0;
+};
+
+Recovery run_crash(sim::Time vc_timeout) {
+  BftHarness h(Backend::kRubin, 4, 1);
+  ReplicaConfig cfg;
+  cfg.batch_timeout = sim::microseconds(50);
+  cfg.view_change_timeout = vc_timeout;
+  h.add_replicas({}, cfg);
+  ClientConfig ccfg;
+  ccfg.retry_timeout = sim::milliseconds(2);
+  auto& client = h.add_client(4, ccfg);
+
+  constexpr int kRequests = 60;
+  std::vector<double> lat;
+  int done = 0;
+  h.sim().spawn([](sim::Simulator& s, Client& c, std::vector<double>& lat,
+                   int& done) -> sim::Task<> {
+    co_await c.start();
+    for (int i = 0; i < kRequests; ++i) {
+      const sim::Time t0 = s.now();
+      (void)co_await c.invoke(to_bytes("add:1"));
+      lat.push_back(sim::to_us(s.now() - t0));
+      ++done;
+    }
+  }(h.sim(), client, lat, done));
+
+  // Let a third of the workload run, then kill the primary.
+  while (done < kRequests / 3) {
+    h.sim().run_until(h.sim().now() + sim::microseconds(200));
+  }
+  h.replica(0).inject_crash();
+  while (done < kRequests && h.sim().now() < sim::seconds(20)) {
+    h.sim().run_until(h.sim().now() + sim::milliseconds(1));
+  }
+  h.stop_all();
+
+  Recovery r;
+  if (done < kRequests) return r;  // stalled — report zeros
+  LatencyRecorder before;
+  LatencyRecorder after;
+  double worst = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    if (i < kRequests / 3) before.add(lat[static_cast<std::size_t>(i)]);
+    if (i > kRequests / 3 + 2) after.add(lat[static_cast<std::size_t>(i)]);
+    worst = std::max(worst, lat[static_cast<std::size_t>(i)]);
+  }
+  r.steady_us = before.percentile(0.5);
+  r.after_us = after.percentile(0.5);
+  r.outage_us = worst;
+  r.final_view = h.replica(1).view();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("E5 — view-change recovery after a primary crash",
+               "4 replicas over RUBIN; crash at 1/3 of the workload");
+
+  print_row({"vc-timeout", "steady(us)", "outage(us)", "after(us)", "view"});
+  for (sim::Time t : {sim::milliseconds(2), sim::milliseconds(5),
+                      sim::milliseconds(10)}) {
+    const Recovery r = run_crash(t);
+    print_row({fmt(sim::to_ms(t), 0) + "ms", fmt(r.steady_us),
+               fmt(r.outage_us), fmt(r.after_us),
+               std::to_string(r.final_view)});
+  }
+  std::printf(
+      "\nThe outage is dominated by fault *detection* (client retry + the\n"
+      "backups' watchdogs), not by the view-change protocol itself: shrink\n"
+      "the timeout and recovery shrinks with it, at the cost of spurious\n"
+      "view changes under load jitter.\n");
+  return 0;
+}

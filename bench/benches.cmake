@@ -1,0 +1,26 @@
+# Benchmark harnesses: each binary regenerates one figure/table or one
+# ablation from DESIGN.md §4. They run on virtual time (deterministic),
+# printing the same series the paper plots.
+function(rubin_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE rubin_workloads rubin_chain)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  # Keep build/bench free of anything but runnable binaries, so
+  # `for b in build/bench/*; do $b; done` is clean.
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+rubin_add_bench(bench_fig3_micro)
+rubin_add_bench(bench_fig4_selector)
+rubin_add_bench(bench_ablation_signaling)
+rubin_add_bench(bench_ablation_inline)
+rubin_add_bench(bench_ablation_zerocopy)
+rubin_add_bench(bench_bft_e2e)
+rubin_add_bench(bench_cop_scaling)
+rubin_add_bench(bench_simkernel)
+target_link_libraries(bench_simkernel PRIVATE benchmark::benchmark)
+rubin_add_bench(bench_group_scaling)
+rubin_add_bench(bench_ablation_onesided)
+rubin_add_bench(bench_selector_scaling)
+rubin_add_bench(bench_viewchange_recovery)

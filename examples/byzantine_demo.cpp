@@ -1,0 +1,82 @@
+// Byzantine fault demo: the replica group survives its own primary.
+//
+// Act 1 — replica 0 leads and everything hums.
+// Act 2 — replica 0 turns Byzantine (accepts requests, never proposes:
+//          a liveness attack invisible to crash detectors).
+// Act 3 — the client's retransmissions tip off the backups, their
+//          watchdogs fire, a view change elects replica 1, and service
+//          resumes — with nothing executed twice and all honest replicas
+//          in agreement.
+//
+//   $ ./byzantine_demo
+#include <cstdio>
+
+#include "common/codec.hpp"
+#include "workloads/bft_harness.hpp"
+
+using namespace rubin;
+using namespace rubin::reptor;
+
+namespace {
+
+sim::Task<> run_client(BftHarness& h, Client& client, bool& done) {
+  co_await client.start();
+  for (int i = 1; i <= 6; ++i) {
+    const sim::Time t0 = h.sim().now();
+    const Bytes result = co_await client.invoke(to_bytes("add:10"));
+    Decoder d(result);
+    std::printf("[%7.2f ms] request %d done: counter=%llu  (%.1f us, view %llu)\n",
+                sim::to_ms(h.sim().now()), i,
+                static_cast<unsigned long long>(d.get_u64().value_or(0)),
+                sim::to_us(h.sim().now() - t0),
+                static_cast<unsigned long long>(client.known_view()));
+  }
+  done = true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Byzantine primary demo: PBFT f=1, 4 replicas over RUBIN/RDMA.\n"
+      "Replica 0 is a *silent primary* — it accepts client requests and\n"
+      "then does nothing, hoping the system stalls.\n\n");
+
+  BftHarness h(Backend::kRubin, 4, 1);
+  ReplicaConfig cfg;
+  cfg.batch_timeout = sim::microseconds(100);
+  cfg.view_change_timeout = sim::milliseconds(5);
+  h.add_replicas({{0, FaultMode::kSilentPrimary}}, cfg);
+
+  ClientConfig ccfg;
+  ccfg.retry_timeout = sim::milliseconds(4);
+  auto& client = h.add_client(4, ccfg);
+
+  bool done = false;
+  h.sim().spawn(run_client(h, client, done));
+  h.sim().run_until(sim::seconds(5));
+
+  std::printf("\npost-mortem:\n");
+  for (NodeId r = 0; r < 4; ++r) {
+    const Replica& rep = h.replica(r);
+    std::printf(
+        "  replica %u: view %llu%s, executed %llu, view-changes sent %llu%s\n",
+        r, static_cast<unsigned long long>(rep.view()),
+        rep.is_primary() ? " (primary)" : "",
+        static_cast<unsigned long long>(rep.stats().requests_executed),
+        static_cast<unsigned long long>(rep.stats().view_changes),
+        r == 0 ? "  <- the saboteur" : "");
+  }
+  if (!done) {
+    std::printf("\nFAILED: the group never recovered.\n");
+    return 1;
+  }
+  std::printf(
+      "\nThe watchdogs fired after the client's retransmissions reached the\n"
+      "backups; view %llu elected replica %llu as the new primary and the\n"
+      "protocol resumed. The faulty replica could delay, but not stop or\n"
+      "corrupt, the service — the BFT guarantee the paper builds on (§II-B).\n",
+      static_cast<unsigned long long>(h.replica(1).view()),
+      static_cast<unsigned long long>(h.replica(1).view() % 4));
+  return 0;
+}

@@ -1,0 +1,93 @@
+// A permissioned blockchain in the paper's target deployment (§I): four
+// PBFT replicas inside a data center, communicating over RUBIN/RDMA,
+// maintaining a replicated key/value ledger with hash-chained blocks.
+// A client submits transactions and reads back consistent state; at the
+// end we show every replica holds the same verified chain.
+//
+//   $ ./replicated_kv
+#include <cstdio>
+
+#include "chain/blockchain.hpp"
+#include "workloads/bft_harness.hpp"
+
+using namespace rubin;
+using namespace rubin::reptor;
+
+namespace {
+
+sim::Task<> client_session(Client& client, bool& done) {
+  co_await client.start();
+  struct Op {
+    const char* op;
+    const char* note;
+  };
+  const Op ops[] = {
+      {"put accounts/alice 100", "create alice"},
+      {"put accounts/bob 50", "create bob"},
+      {"get accounts/alice", "read alice"},
+      {"put accounts/alice 75", "update alice"},
+      {"get accounts/alice", "read updated alice"},
+      {"del accounts/bob", "remove bob"},
+      {"get accounts/bob", "read removed bob"},
+      {"put blocks/motd hello-bft-world", "one more write"},
+  };
+  for (const Op& op : ops) {
+    const Bytes result = co_await client.invoke(to_bytes(op.op));
+    std::printf("  %-28s -> %-12s (%s)\n", op.op, to_string(result).c_str(),
+                op.note);
+  }
+  done = true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Replicated KV ledger: PBFT f=1, 4 replicas, RUBIN/RDMA transport\n\n");
+
+  BftHarness h(Backend::kRubin, /*replicas=*/4, /*clients=*/1);
+  ReplicaConfig cfg;
+  cfg.batch_timeout = sim::microseconds(100);
+  cfg.checkpoint_interval = 16;
+  for (NodeId r = 0; r < 4; ++r) {
+    cfg.self = r;
+    h.add_replica(r, cfg, std::make_unique<chain::Blockchain>(/*block_size=*/3));
+  }
+
+  bool done = false;
+  auto& client = h.add_client(4);
+  h.sim().spawn(client_session(client, done));
+  h.sim().run_until(sim::seconds(5));
+  if (!done) {
+    std::printf("client did not finish — protocol stalled?\n");
+    return 1;
+  }
+
+  std::printf("\nledger state across the replica group:\n");
+  const auto& chain0 = dynamic_cast<const chain::Blockchain&>(h.replica(0).app());
+  for (NodeId r = 0; r < 4; ++r) {
+    const auto& chain = dynamic_cast<const chain::Blockchain&>(h.replica(r).app());
+    std::printf(
+        "  replica %u: %llu txs, %llu blocks, tip %.16s…, chain %s, %s\n", r,
+        static_cast<unsigned long long>(chain.executed()),
+        static_cast<unsigned long long>(chain.height()),
+        to_hex(chain.tip()).c_str(),
+        chain.verify_chain() ? "verified" : "BROKEN",
+        chain.tip() == chain0.tip() ? "in agreement" : "DIVERGED");
+  }
+
+  std::printf("\nblock chain at replica 0:\n");
+  Digest prev = Sha256::hash(ByteView{});
+  for (const chain::Block& b : chain0.blocks()) {
+    std::printf("  block %llu: %zu txs, prev %.12s…, hash %.12s…\n",
+                static_cast<unsigned long long>(b.height), b.txs.size(),
+                to_hex(b.prev_hash).c_str(), to_hex(b.hash).c_str());
+    prev = b.hash;
+  }
+  (void)prev;
+
+  std::printf("\nclient: %llu requests, %llu retries, mean latency %.1f us\n",
+              static_cast<unsigned long long>(client.stats().requests_sent),
+              static_cast<unsigned long long>(client.stats().retries),
+              client.latencies().mean());
+  return 0;
+}

@@ -1,0 +1,227 @@
+#include "chain/blockchain.hpp"
+
+#include <sstream>
+
+#include "common/codec.hpp"
+
+namespace rubin::chain {
+
+namespace {
+/// Well-known genesis parent: hash of the empty string.
+Digest genesis_hash() { return Sha256::hash(ByteView{}); }
+}  // namespace
+
+Digest Block::compute_tx_root() const {
+  Encoder e;
+  e.put_u64(height);
+  e.put_u32(static_cast<std::uint32_t>(txs.size()));
+  for (const Transaction& tx : txs) {
+    e.put_u64(tx.index);
+    e.put_bytes(tx.op);
+    e.put_bytes(tx.result);
+  }
+  return Sha256::hash(e.view());
+}
+
+Digest Block::compute_hash() const {
+  Encoder e;
+  e.put_u64(height);
+  e.put_raw(prev_hash);
+  e.put_raw(tx_root);
+  return Sha256::hash(e.view());
+}
+
+Blockchain::Blockchain(std::size_t block_size)
+    : block_size_(block_size == 0 ? 1 : block_size) {}
+
+Bytes Blockchain::execute(ByteView op) {
+  std::istringstream in(to_string(op));
+  std::string verb;
+  std::string key;
+  in >> verb >> key;
+
+  Bytes result;
+  if (verb == "put") {
+    std::string value;
+    std::getline(in, value);
+    if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    kv_[key] = value;
+    result = to_bytes("ok");
+  } else if (verb == "get") {
+    const auto it = kv_.find(key);
+    result = to_bytes(it == kv_.end() ? "<nil>" : it->second);
+  } else if (verb == "del") {
+    result = to_bytes(kv_.erase(key) > 0 ? "ok" : "<nil>");
+  } else {
+    result = to_bytes("err");
+  }
+
+  pending_.push_back(Transaction{executed_++, Bytes(op.begin(), op.end()),
+                                 result});
+  if (pending_.size() >= block_size_) seal_block();
+  return result;
+}
+
+Bytes Blockchain::query(ByteView op) const {
+  std::istringstream in(to_string(op));
+  std::string verb;
+  std::string key;
+  in >> verb >> key;
+  if (verb == "get") {
+    const auto it = kv_.find(key);
+    return to_bytes(it == kv_.end() ? "<nil>" : it->second);
+  }
+  if (verb == "height") return to_bytes(std::to_string(blocks_.size()));
+  if (verb == "tip") return to_bytes(to_hex(tip()));
+  return to_bytes("err-readonly");  // mutating ops need ordering
+}
+
+void Blockchain::seal_block() {
+  Block b;
+  b.height = blocks_.size() + 1;
+  b.prev_hash = tip();
+  b.txs = std::move(pending_);
+  pending_.clear();
+  b.tx_root = b.compute_tx_root();
+  b.hash = b.compute_hash();
+  blocks_.push_back(std::move(b));
+}
+
+Digest Blockchain::tip() const {
+  return blocks_.empty() ? genesis_hash() : blocks_.back().hash;
+}
+
+bool Blockchain::verify_chain() const {
+  Digest prev = genesis_hash();
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (b.height != i + 1) return false;
+    if (b.prev_hash != prev) return false;
+    if (b.tx_root != b.compute_tx_root()) return false;
+    if (b.hash != b.compute_hash()) return false;
+    prev = b.hash;
+  }
+  return true;
+}
+
+std::optional<std::string> Blockchain::get(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+Digest Blockchain::kv_digest() const {
+  Encoder e;
+  for (const auto& [k, v] : kv_) {
+    e.put_string(k);
+    e.put_string(v);
+  }
+  return Sha256::hash(e.view());
+}
+
+namespace {
+
+void encode_tx(Encoder& e, const Transaction& tx) {
+  e.put_u64(tx.index);
+  e.put_bytes(tx.op);
+  e.put_bytes(tx.result);
+}
+
+std::optional<Transaction> decode_tx(Decoder& d) {
+  auto index = d.get_u64();
+  auto op = d.get_bytes();
+  auto result = d.get_bytes();
+  if (!index || !op || !result) return std::nullopt;
+  return Transaction{*index, std::move(*op), std::move(*result)};
+}
+
+}  // namespace
+
+Bytes Blockchain::snapshot() const {
+  Encoder e;
+  e.put_u64(executed_);
+  e.put_u32(static_cast<std::uint32_t>(kv_.size()));
+  for (const auto& [k, v] : kv_) {
+    e.put_string(k);
+    e.put_string(v);
+  }
+  e.put_u32(static_cast<std::uint32_t>(blocks_.size()));
+  for (const Block& b : blocks_) {
+    e.put_u64(b.height);
+    e.put_raw(b.prev_hash);
+    e.put_u32(static_cast<std::uint32_t>(b.txs.size()));
+    for (const Transaction& tx : b.txs) encode_tx(e, tx);
+  }
+  e.put_u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const Transaction& tx : pending_) encode_tx(e, tx);
+  return e.take();
+}
+
+bool Blockchain::restore(ByteView snap, const Digest& expected) {
+  // Parse into temporaries first: a malformed or mismatching snapshot
+  // must leave the current state untouched.
+  Decoder d(snap);
+  const auto executed = d.get_u64();
+  const auto n_kv = d.get_u32();
+  if (!executed || !n_kv) return false;
+  std::map<std::string, std::string> kv;
+  for (std::uint32_t i = 0; i < *n_kv; ++i) {
+    auto k = d.get_string();
+    auto v = d.get_string();
+    if (!k || !v) return false;
+    kv.emplace(std::move(*k), std::move(*v));
+  }
+  const auto n_blocks = d.get_u32();
+  if (!n_blocks) return false;
+  std::vector<Block> blocks;
+  for (std::uint32_t i = 0; i < *n_blocks; ++i) {
+    Block b;
+    auto height = d.get_u64();
+    auto prev = d.get_raw(32);
+    auto n_txs = d.get_u32();
+    if (!height || !prev || !n_txs) return false;
+    b.height = *height;
+    std::copy(prev->begin(), prev->end(), b.prev_hash.begin());
+    for (std::uint32_t t = 0; t < *n_txs; ++t) {
+      auto tx = decode_tx(d);
+      if (!tx) return false;
+      b.txs.push_back(std::move(*tx));
+    }
+    b.tx_root = b.compute_tx_root();
+    b.hash = b.compute_hash();
+    blocks.push_back(std::move(b));
+  }
+  const auto n_pending = d.get_u32();
+  if (!n_pending) return false;
+  std::vector<Transaction> pending;
+  for (std::uint32_t i = 0; i < *n_pending; ++i) {
+    auto tx = decode_tx(d);
+    if (!tx) return false;
+    pending.push_back(std::move(*tx));
+  }
+  if (!d.exhausted()) return false;
+
+  // Commit, verify the agreed digest, roll back on mismatch.
+  Blockchain incoming(block_size_);
+  incoming.executed_ = *executed;
+  incoming.kv_ = std::move(kv);
+  incoming.blocks_ = std::move(blocks);
+  incoming.pending_ = std::move(pending);
+  if (incoming.state_digest() != expected || !incoming.verify_chain()) {
+    return false;
+  }
+  *this = std::move(incoming);
+  return true;
+}
+
+Digest Blockchain::state_digest() const {
+  // Chain tip + unsealed tail + kv state: replicas must agree on all of
+  // it at a checkpoint, not just on sealed blocks.
+  Encoder e;
+  e.put_raw(tip());
+  e.put_u64(executed_);
+  e.put_raw(kv_digest());
+  return Sha256::hash(e.view());
+}
+
+}  // namespace rubin::chain

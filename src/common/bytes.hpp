@@ -1,0 +1,51 @@
+// Byte-buffer primitives shared by every module.
+//
+// The whole code base moves opaque payloads around (RDMA buffers, TCP
+// streams, PBFT messages), so we standardize on a single owning type
+// (`Bytes`) plus non-owning views (`ByteView` / `MutByteView`) and a few
+// conversion helpers. Nothing here knows about networking or time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rubin {
+
+/// Owning, contiguous byte buffer. Plain vector so the standard library's
+/// growth/SSO rules apply and interop with <algorithm> is free.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using ByteView = std::span<const std::uint8_t>;
+
+/// Non-owning writable view over bytes.
+using MutByteView = std::span<std::uint8_t>;
+
+/// Builds an owning buffer from a string literal / std::string payload.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte view as text (for logs and tests; no validation).
+std::string to_string(ByteView b);
+
+/// Lower-case hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string to_hex(ByteView b);
+
+/// Parses lower/upper-case hex; throws std::invalid_argument on bad input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality for MACs/digests: never short-circuits, so the
+/// comparison time does not leak the position of the first mismatch.
+bool constant_time_equal(ByteView a, ByteView b);
+
+/// Deterministic payload pattern used by workload generators: byte i of a
+/// message with seed `seed` is a mix of both so corruption is detectable.
+Bytes patterned_bytes(std::size_t n, std::uint64_t seed);
+
+/// True iff `b` matches patterned_bytes(b.size(), seed) — cheap integrity
+/// check used by echo benchmarks and fault-injection tests.
+bool check_pattern(ByteView b, std::uint64_t seed);
+
+}  // namespace rubin

@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace rubin {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+bool log_enabled(LogLevel level) noexcept {
+  return level >= g_level && g_level != LogLevel::kOff;
+}
+
+void log(LogLevel level, std::string_view component, std::string_view msg) {
+  if (!log_enabled(level)) return;
+  std::fprintf(stderr, "[%-5s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace rubin

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Everything that needs randomness — workload generators, fault injection,
+// jitter — takes an explicit `Rng&` seeded by the test/bench, so every run
+// is reproducible. Never uses std::random_device or wall-clock seeding.
+#pragma once
+
+#include <cstdint>
+
+namespace rubin {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via SplitMix64 so any 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Debiased via rejection on the top of the range.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace rubin

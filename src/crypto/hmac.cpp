@@ -1,0 +1,90 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/codec.hpp"
+
+namespace rubin {
+
+Digest hmac_sha256(ByteView key, ByteView message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const Digest kd = Sha256::hash(key);
+    std::memcpy(block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Mac truncated_mac(ByteView key, ByteView message) {
+  const Digest full = hmac_sha256(key, message);
+  Mac m;
+  std::copy_n(full.begin(), m.size(), m.begin());
+  return m;
+}
+
+KeyTable::KeyTable(std::uint32_t self, std::uint32_t group_size,
+                   ByteView group_secret)
+    : self_(self) {
+  if (self >= group_size) {
+    throw std::invalid_argument("KeyTable: self index out of range");
+  }
+  keys_.reserve(group_size);
+  for (std::uint32_t peer = 0; peer < group_size; ++peer) {
+    // Symmetric derivation: the pair is ordered (min, max) so both sides
+    // compute the same key.
+    Encoder enc;
+    enc.put_u32(std::min(self, peer));
+    enc.put_u32(std::max(self, peer));
+    enc.put_raw(group_secret);
+    const Digest d = Sha256::hash(enc.view());
+    keys_.emplace_back(d.begin(), d.end());
+  }
+}
+
+ByteView KeyTable::key_for(std::uint32_t peer) const {
+  if (peer >= keys_.size()) {
+    throw std::out_of_range("KeyTable: peer index out of range");
+  }
+  return keys_[peer];
+}
+
+Mac KeyTable::mac_for(std::uint32_t peer, ByteView message) const {
+  return truncated_mac(key_for(peer), message);
+}
+
+bool KeyTable::verify_from(std::uint32_t peer, ByteView message,
+                           const Mac& mac) const {
+  const Mac expect = mac_for(peer, message);
+  return constant_time_equal(expect, mac);
+}
+
+std::vector<Mac> KeyTable::authenticator(ByteView message) const {
+  std::vector<Mac> out;
+  out.reserve(keys_.size());
+  for (std::uint32_t peer = 0; peer < keys_.size(); ++peer) {
+    out.push_back(mac_for(peer, message));
+  }
+  return out;
+}
+
+}  // namespace rubin

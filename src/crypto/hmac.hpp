@@ -1,0 +1,57 @@
+// HMAC-SHA-256 (RFC 2104) and the MAC-vector "authenticators" PBFT uses.
+//
+// Reptor authenticates replica messages with per-pair symmetric keys: a
+// message carries one MAC per receiver (an *authenticator vector*). A
+// Byzantine sender can put a valid MAC for one receiver and garbage for
+// another, which is exactly the behaviour the PBFT view-change machinery
+// must tolerate — so the authenticator is modeled faithfully here rather
+// than as a single shared MAC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rubin {
+
+/// One-shot HMAC-SHA-256. Keys of any length (hashed down if > 64 bytes).
+Digest hmac_sha256(ByteView key, ByteView message);
+
+/// Truncated 8-byte MAC as used in PBFT authenticators (Castro & Liskov use
+/// 10-byte UMACs; we truncate HMAC-SHA-256 — same trust model, cheaper wire
+/// format than full digests).
+using Mac = std::array<std::uint8_t, 8>;
+
+Mac truncated_mac(ByteView key, ByteView message);
+
+/// Symmetric pairwise session keys for a group of n nodes. Node i and node
+/// j share key derive(i, j) == derive(j, i). Derivation is from a group
+/// secret — stand-in for the key exchange a deployment would run.
+class KeyTable {
+ public:
+  KeyTable(std::uint32_t self, std::uint32_t group_size, ByteView group_secret);
+
+  std::uint32_t self() const noexcept { return self_; }
+  std::uint32_t group_size() const noexcept { return static_cast<std::uint32_t>(keys_.size()); }
+
+  /// Session key shared with `peer`.
+  ByteView key_for(std::uint32_t peer) const;
+
+  /// MAC of `message` for `peer`, keyed with the pairwise key.
+  Mac mac_for(std::uint32_t peer, ByteView message) const;
+
+  /// Verifies a MAC claimed to come from `peer`.
+  bool verify_from(std::uint32_t peer, ByteView message, const Mac& mac) const;
+
+  /// Full authenticator: one MAC per group member (including self, which
+  /// keeps indexing trivial; receivers only check their own slot).
+  std::vector<Mac> authenticator(ByteView message) const;
+
+ private:
+  std::uint32_t self_;
+  std::vector<Bytes> keys_;  // keys_[j] = pairwise key with node j
+};
+
+}  // namespace rubin

@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for PBFT request/batch digests and the blockchain's prev-hash links.
+// Streaming interface so large payloads can be hashed without copying them
+// into one contiguous buffer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rubin {
+
+/// A 256-bit digest. Fixed-size array so it can live inline in messages.
+using Digest = std::array<std::uint8_t, 32>;
+
+std::string to_hex(const Digest& d);
+
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  /// Clears all state; the object can be reused for a new message.
+  void reset() noexcept;
+
+  /// Absorbs more input. May be called any number of times.
+  void update(ByteView data) noexcept;
+
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// being reused (finish() leaves it in a consumed state on purpose —
+  /// accidentally appending to a finished hash is a bug we want loud).
+  Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Digest hash(ByteView data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace rubin

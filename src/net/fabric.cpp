@@ -1,0 +1,57 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rubin::net {
+
+Fabric::Fabric(sim::Simulator& sim, CostModel cost, std::size_t host_count)
+    : sim_(&sim), cost_(cost), egress_free_(host_count, 0) {}
+
+void Fabric::transmit(HostId src, HostId dst, std::size_t payload_bytes,
+                      sim::UniqueFunction deliver) {
+  if (src >= egress_free_.size() || dst >= egress_free_.size()) {
+    throw std::out_of_range("Fabric::transmit: host id out of range");
+  }
+
+  // Anything larger than the MTU goes out as back-to-back segments; the
+  // serialization time is the same as one long frame, but each segment
+  // pays its own header overhead.
+  const std::size_t wire_bytes =
+      payload_bytes + cost_.segments(payload_bytes) * cost_.frame_overhead_bytes;
+  bytes_on_wire_ += wire_bytes;
+
+  if (is_partitioned(src, dst) ||
+      (drop_rate_ > 0.0 && drop_rng_.chance(drop_rate_))) {
+    ++frames_dropped_;
+    return;  // deliver is destroyed unrun
+  }
+
+  // Egress serialization: the port transmits one frame at a time.
+  const sim::Time start = std::max(sim_->now(), egress_free_[src]);
+  const sim::Time tx_done = start + cost_.wire_serialization(wire_bytes);
+  egress_free_[src] = tx_done;
+
+  sim::Time arrival = tx_done + cost_.propagation;
+  if (auto it = extra_delay_.find(ordered(src, dst)); it != extra_delay_.end()) {
+    arrival += it->second;
+  }
+
+  ++frames_delivered_;
+  sim_->schedule_at(arrival, std::move(deliver));
+}
+
+void Fabric::set_partitioned(HostId a, HostId b, bool blocked) {
+  partitioned_[ordered(a, b)] = blocked;
+}
+
+bool Fabric::is_partitioned(HostId a, HostId b) const {
+  const auto it = partitioned_.find(ordered(a, b));
+  return it != partitioned_.end() && it->second;
+}
+
+void Fabric::set_extra_delay(HostId a, HostId b, sim::Time delay) {
+  extra_delay_[ordered(a, b)] = delay;
+}
+
+}  // namespace rubin::net

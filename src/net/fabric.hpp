@@ -1,0 +1,73 @@
+// The simulated interconnect: N hosts on a full-duplex switched 10 Gbps
+// network (the paper's two-machine RoCE testbed generalized to a replica
+// group).
+//
+// A Fabric knows nothing about protocols. Transports (tcpsim, verbs) hand
+// it frames — a wire size plus an arbitrary delivery action — and it
+// models egress serialization (one frame at a time per host egress port),
+// propagation, and optional fault injection (drops, partitions, extra
+// delay). Delivery actions run at the destination's arrival instant.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/cost_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace rubin::net {
+
+using HostId = std::uint32_t;
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, CostModel cost, std::size_t host_count);
+
+  sim::Simulator& simulator() noexcept { return *sim_; }
+  const CostModel& cost() const noexcept { return cost_; }
+  std::size_t host_count() const noexcept { return egress_free_.size(); }
+
+  /// Queues a frame of `payload_bytes` from `src` to `dst`. The frame
+  /// occupies src's egress port for its serialization time (frames from
+  /// one host are transmitted back to back, which is what creates the
+  /// bandwidth-bound regime for large payloads). `deliver` runs at the
+  /// destination when the last bit arrives — unless the frame is dropped
+  /// or the pair is partitioned, in which case it is destroyed unrun.
+  void transmit(HostId src, HostId dst, std::size_t payload_bytes,
+                sim::UniqueFunction deliver);
+
+  // ---------------------------------------------------- fault injection --
+  /// Independent per-frame drop probability (0 disables).
+  void set_drop_rate(double p) { drop_rate_ = p; }
+  /// Blocks (or unblocks) all frames between a and b, both directions.
+  void set_partitioned(HostId a, HostId b, bool blocked);
+  bool is_partitioned(HostId a, HostId b) const;
+  /// Extra one-way delay applied to frames between a and b.
+  void set_extra_delay(HostId a, HostId b, sim::Time delay);
+
+  // ------------------------------------------------------------- stats ---
+  std::uint64_t frames_delivered() const noexcept { return frames_delivered_; }
+  std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
+  std::uint64_t bytes_on_wire() const noexcept { return bytes_on_wire_; }
+
+ private:
+  static std::pair<HostId, HostId> ordered(HostId a, HostId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  sim::Simulator* sim_;
+  CostModel cost_;
+  std::vector<sim::Time> egress_free_;  // per-host egress port busy-until
+  std::map<std::pair<HostId, HostId>, sim::Time> extra_delay_;
+  std::map<std::pair<HostId, HostId>, bool> partitioned_;
+  double drop_rate_ = 0.0;
+  Rng drop_rng_{0x5eedF00dULL};
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t bytes_on_wire_ = 0;
+};
+
+}  // namespace rubin::net

@@ -1,0 +1,113 @@
+#include "reptor/client.hpp"
+
+#include <set>
+
+namespace rubin::reptor {
+
+Client::Client(sim::Simulator& sim, std::unique_ptr<Transport> transport,
+               KeyTable keys, ClientConfig cfg)
+    : sim_(&sim),
+      transport_(std::move(transport)),
+      keys_(std::move(keys)),
+      cfg_(cfg) {}
+
+sim::Task<void> Client::start() { co_await transport_->start(); }
+
+sim::Task<Bytes> Client::invoke(Bytes op) {
+  const std::uint64_t id = next_id_++;
+  Request req;
+  req.client = cfg_.self;
+  req.id = id;
+  req.op = std::move(op);
+
+  // The request carries a full authenticator: backups must be able to
+  // verify it when the primary (or a retransmission) relays it.
+  co_await sim_->sleep(cfg_.costs.mac_time(req.op.size()) *
+                       static_cast<sim::Time>(cfg_.n));
+  const Bytes frame =
+      encode_for_replicas(Envelope{cfg_.self, Message{req}}, keys_, cfg_.n);
+
+  const sim::Time started = sim_->now();
+  transport_->send(primary_of(view_), Bytes(frame));
+  ++stats_.requests_sent;
+
+  sim::Time retry_at = sim_->now() + cfg_.retry_timeout;
+  // result digest -> replica voters (a Byzantine replica may lie; only
+  // f+1 matching replies are trusted).
+  std::map<Bytes, std::set<NodeId>> votes;
+  for (;;) {
+    const sim::Time wait = std::max<sim::Time>(retry_at - sim_->now(),
+                                               sim::microseconds(5));
+    const auto msgs = co_await transport_->poll(wait);
+    for (const InboundMsg& m : msgs) {
+      co_await sim_->sleep(cfg_.costs.mac_time(m.frame.size()));
+      const auto env = decode_verified(m.frame, keys_);
+      if (!env || !std::holds_alternative<Reply>(env->msg)) continue;
+      const auto& reply = std::get<Reply>(env->msg);
+      if (reply.client != cfg_.self || reply.request_id != id) continue;
+      if (env->sender != m.peer || env->sender >= cfg_.n) continue;
+      ++stats_.replies_received;
+      view_ = std::max(view_, reply.view);
+      votes[reply.result].insert(env->sender);
+      if (votes[reply.result].size() >= cfg_.f + 1) {
+        latency_.add(sim::to_us(sim_->now() - started));
+        co_return reply.result;
+      }
+    }
+    if (sim_->now() >= retry_at) {
+      // Primary silent or reply lost: tell everyone (PBFT's retransmit —
+      // backups forward to the primary and start their watchdogs).
+      for (NodeId r = 0; r < cfg_.n; ++r) transport_->send(r, Bytes(frame));
+      ++stats_.retries;
+      retry_at = sim_->now() + cfg_.retry_timeout;
+    }
+  }
+}
+
+sim::Task<Bytes> Client::invoke_read_only(Bytes op) {
+  const std::uint64_t id = next_id_++;
+  Request req;
+  req.client = cfg_.self;
+  req.id = id;
+  req.op = op;  // keep a copy for the fallback
+  req.read_only = true;
+
+  co_await sim_->sleep(cfg_.costs.mac_time(req.op.size()) *
+                       static_cast<sim::Time>(cfg_.n));
+  const Bytes frame =
+      encode_for_replicas(Envelope{cfg_.self, Message{req}}, keys_, cfg_.n);
+  const sim::Time started = sim_->now();
+  for (NodeId r = 0; r < cfg_.n; ++r) transport_->send(r, Bytes(frame));
+  ++stats_.requests_sent;
+
+  // One shot: wait for a 2f+1 matching quorum until the deadline, then
+  // fall back to the ordered path.
+  const sim::Time deadline = sim_->now() + cfg_.retry_timeout;
+  std::map<Bytes, std::set<NodeId>> votes;
+  while (sim_->now() < deadline) {
+    const sim::Time wait =
+        std::max<sim::Time>(deadline - sim_->now(), sim::microseconds(5));
+    const auto msgs = co_await transport_->poll(wait);
+    for (const InboundMsg& m : msgs) {
+      co_await sim_->sleep(cfg_.costs.mac_time(m.frame.size()));
+      const auto env = decode_verified(m.frame, keys_);
+      if (!env || !std::holds_alternative<Reply>(env->msg)) continue;
+      const auto& reply = std::get<Reply>(env->msg);
+      if (reply.client != cfg_.self || reply.request_id != id) continue;
+      if (env->sender != m.peer || env->sender >= cfg_.n) continue;
+      ++stats_.replies_received;
+      view_ = std::max(view_, reply.view);
+      votes[reply.result].insert(env->sender);
+      if (votes[reply.result].size() >= 2 * cfg_.f + 1) {
+        ++stats_.read_only_fast;
+        latency_.add(sim::to_us(sim_->now() - started));
+        co_return reply.result;
+      }
+    }
+  }
+  // Divergent or missing replies: the op must go through ordering.
+  ++stats_.read_only_fallback;
+  co_return co_await invoke(std::move(op));
+}
+
+}  // namespace rubin::reptor

@@ -1,0 +1,39 @@
+// CPU cost model for the BFT protocol layer.
+//
+// The network substrate (net::CostModel) covers transport costs; this
+// struct covers what a replica's cores spend per protocol step —
+// authenticator computation/verification, request digests, execution.
+// These are what the Consensus-Oriented Parallelization scheme (paper
+// §II-C / Behl et al.) parallelizes across cores, so they are the knob
+// that makes the COP scaling bench meaningful.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace rubin::reptor {
+
+struct ProtocolCosts {
+  /// HMAC-SHA-256: fixed setup plus per-byte hashing (~1.6 GB/s/core).
+  sim::Time mac_fixed = sim::microseconds(0.40);
+  double mac_gbps = 13.0;
+  /// SHA-256 digest of a request/batch.
+  sim::Time digest_fixed = sim::microseconds(0.25);
+  double digest_gbps = 15.0;
+  /// Protocol bookkeeping per handled message (log access, quorum sets).
+  sim::Time handle_fixed = sim::microseconds(0.50);
+  /// Executing one request against the application state machine.
+  sim::Time execute_fixed = sim::microseconds(1.0);
+
+  sim::Time mac_time(std::size_t bytes) const {
+    return mac_fixed + static_cast<sim::Time>(static_cast<double>(bytes) *
+                                              8.0 / mac_gbps);
+  }
+  sim::Time digest_time(std::size_t bytes) const {
+    return digest_fixed + static_cast<sim::Time>(static_cast<double>(bytes) *
+                                                 8.0 / digest_gbps);
+  }
+};
+
+}  // namespace rubin::reptor

@@ -1,0 +1,72 @@
+#include "reptor/echo_stack.hpp"
+
+#include <map>
+
+namespace rubin::reptor {
+
+sim::Task<void> EchoServer::run() {
+  co_await transport_->start();
+  while (running_) {
+    auto msgs = co_await transport_->poll(sim::milliseconds(1));
+    for (InboundMsg& m : msgs) {
+      transport_->send(m.peer, std::move(m.frame));
+      ++echoed_;
+    }
+  }
+  co_return;
+}
+
+sim::Task<void> EchoClient::run() {
+  co_await transport_->start();
+  started_ = sim_->now();
+
+  std::uint64_t next_id = 0;
+  std::map<std::uint64_t, sim::Time> in_flight;
+
+  auto send_one = [&] {
+    // Message: u64 id then pattern filler.
+    Bytes msg = patterned_bytes(cfg_.payload, next_id);
+    for (int i = 0; i < 8 && i < static_cast<int>(msg.size()); ++i) {
+      msg[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(next_id >> (8 * i));
+    }
+    in_flight[next_id] = sim_->now();
+    transport_->send(cfg_.server, std::move(msg));
+    ++next_id;
+  };
+
+  while (completed_ < cfg_.messages) {
+    while (next_id < cfg_.messages && in_flight.size() < cfg_.window) {
+      send_one();
+    }
+    const auto msgs = co_await transport_->poll(sim::milliseconds(10));
+    for (const InboundMsg& m : msgs) {
+      std::uint64_t id = 0;
+      for (int i = 0; i < 8 && i < static_cast<int>(m.frame.size()); ++i) {
+        id |= static_cast<std::uint64_t>(m.frame[static_cast<std::size_t>(i)]) << (8 * i);
+      }
+      const auto it = in_flight.find(id);
+      if (it == in_flight.end()) continue;
+      latency_.add(sim::to_us(sim_->now() - it->second));
+      in_flight.erase(it);
+      ++completed_;
+    }
+  }
+  finished_ = sim_->now();
+  co_return;
+}
+
+EchoResult EchoClient::result() const {
+  EchoResult r;
+  r.completed = completed_;
+  if (latency_.count() > 0) {
+    r.mean_latency_us = latency_.mean();
+    r.p99_latency_us = latency_.percentile(0.99);
+  }
+  const double elapsed_s = sim::to_s(finished_ - started_);
+  if (elapsed_s > 0) {
+    r.requests_per_second = static_cast<double>(completed_) / elapsed_s;
+  }
+  return r;
+}
+
+}  // namespace rubin::reptor

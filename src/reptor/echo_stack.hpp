@@ -1,0 +1,72 @@
+// The Fig. 4 workload: an echo server and a windowed echo client running
+// on the Reptor communication stack (Transport), so the only variable is
+// the selector backend underneath — Java-NIO-style Poller over TCP versus
+// the RUBIN RdmaSelector.
+//
+// "For both protocols, the window size and batching was set to 30 and 10
+// messages, respectively." The client keeps `window` messages in flight;
+// the transport flushes sends in batches of its batch limit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "reptor/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace rubin::reptor {
+
+/// Echoes every inbound frame back to its sender until stop().
+class EchoServer {
+ public:
+  EchoServer(sim::Simulator& sim, std::unique_ptr<Transport> transport)
+      : sim_(&sim), transport_(std::move(transport)) {}
+
+  sim::Task<void> run();
+  void stop() noexcept { running_ = false; }
+  std::uint64_t echoed() const noexcept { return echoed_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::unique_ptr<Transport> transport_;
+  bool running_ = true;
+  std::uint64_t echoed_ = 0;
+};
+
+struct EchoClientConfig {
+  std::size_t payload = 1024;
+  std::uint32_t window = 30;   // outstanding messages
+  std::uint64_t messages = 1000;
+  NodeId server = 0;
+};
+
+struct EchoResult {
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double requests_per_second = 0.0;
+  std::uint64_t completed = 0;
+};
+
+/// Pumps `messages` echoes through the transport with a fixed window and
+/// reports latency/throughput — one point of Fig. 4 per run.
+class EchoClient {
+ public:
+  EchoClient(sim::Simulator& sim, std::unique_ptr<Transport> transport,
+             EchoClientConfig cfg)
+      : sim_(&sim), transport_(std::move(transport)), cfg_(cfg) {}
+
+  sim::Task<void> run();
+  EchoResult result() const;
+
+ private:
+  sim::Simulator* sim_;
+  std::unique_ptr<Transport> transport_;
+  EchoClientConfig cfg_;
+  LatencyRecorder latency_;
+  sim::Time started_ = 0;
+  sim::Time finished_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace rubin::reptor

@@ -1,0 +1,151 @@
+// PBFT message types and their authenticated wire format.
+//
+// Replica-to-replica messages carry a full *authenticator* — one
+// truncated HMAC per replica — because a Byzantine sender may craft a MAC
+// vector that verifies at some receivers and not others (the attack the
+// crypto tests demonstrate). Messages to a single peer (replies to
+// clients) carry one MAC.
+//
+// Wire layout:
+//   u8 type | u32 sender | bytes payload | u8 mac_count | mac_count * 8B
+// The MACs authenticate (type | sender | payload).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rubin::reptor {
+
+/// Node numbering: replicas are 0..n-1; clients are n, n+1, … — one
+/// KeyTable spans the whole group so any pair shares a session key.
+using NodeId = std::uint32_t;
+
+struct Request {
+  NodeId client = 0;
+  std::uint64_t id = 0;  // client-local, strictly increasing
+  Bytes op;
+  /// PBFT read-only optimization (Castro & Liskov §4.1): read-only
+  /// requests skip the three-phase ordering — each replica answers from
+  /// its current committed state, and the client accepts a result only
+  /// when 2f+1 replies match (falling back to ordered execution when
+  /// concurrent writes make them diverge).
+  bool read_only = false;
+
+  bool operator==(const Request&) const = default;
+};
+
+/// Ordered batch proposal from the primary (PBFT PRE-PREPARE). `digest`
+/// covers the encoded batch; PREPARE/COMMIT refer to it by digest only
+/// (the "hashes instead of full messages" optimization, paper §II-B).
+struct PrePrepare {
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  Digest digest{};
+  std::vector<Request> batch;
+};
+
+struct Prepare {
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  Digest digest{};
+};
+
+struct Commit {
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  Digest digest{};
+};
+
+struct Reply {
+  std::uint64_t view = 0;
+  NodeId client = 0;
+  std::uint64_t request_id = 0;
+  Bytes result;
+};
+
+struct Checkpoint {
+  std::uint64_t seq = 0;
+  Digest state{};    // application state digest at seq
+  Digest clients{};  // client-table digest at seq (reply dedup state)
+};
+
+/// Per-sequence evidence carried in a VIEW-CHANGE: the sender prepared
+/// this digest at this sequence in some earlier view. Carries the full
+/// batch so the new primary can re-issue it without a fetch round
+/// (simplification over PBFT's digest-only proofs; see replica.hpp).
+struct PreparedProof {
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  Digest digest{};
+  std::vector<Request> batch;
+};
+
+struct ViewChange {
+  std::uint64_t new_view = 0;
+  std::uint64_t stable_seq = 0;
+  std::vector<PreparedProof> prepared;
+};
+
+struct NewView {
+  std::uint64_t view = 0;
+  std::vector<NodeId> voters;          // the 2f+1 view-change senders
+  std::vector<PrePrepare> pre_prepares;  // re-issued proposals
+};
+
+/// Catch-up sub-protocol (PBFT state transfer): a replica whose execution
+/// fell behind the group's stable checkpoint asks a peer for a snapshot.
+struct StateRequest {
+  std::uint64_t have_seq = 0;  // requester's last executed sequence
+};
+
+/// Snapshot at the responder's stable checkpoint. Trust model: the
+/// receiver only installs it if the snapshot's digests match a checkpoint
+/// digest it saw 2f+1 replicas vote for — a Byzantine responder can stall
+/// the transfer but never corrupt state.
+struct StateResponse {
+  std::uint64_t seq = 0;
+  Bytes app_snapshot;
+  Bytes client_table;
+};
+
+using Message = std::variant<Request, PrePrepare, Prepare, Commit, Reply,
+                             Checkpoint, ViewChange, NewView, StateRequest,
+                             StateResponse>;
+
+struct Envelope {
+  NodeId sender = 0;
+  Message msg;
+};
+
+/// Digest of a request batch (what PRE-PREPARE/PREPARE/COMMIT agree on).
+Digest batch_digest(const std::vector<Request>& batch);
+
+/// Digest of a single request (client table bookkeeping).
+Digest request_digest(const Request& r);
+
+/// Serializes `msg` and appends an authenticator with one MAC per replica
+/// (slots 0..replica_count-1 of the key table).
+Bytes encode_for_replicas(const Envelope& env, const KeyTable& keys,
+                          std::uint32_t replica_count);
+
+/// Serializes `msg` with a single MAC for `peer`.
+Bytes encode_for_peer(const Envelope& env, const KeyTable& keys, NodeId peer);
+
+/// Parses and authenticates a frame. Returns nullopt on malformed input
+/// or MAC failure — a Byzantine peer's frame simply vanishes here, which
+/// PBFT tolerates by design.
+std::optional<Envelope> decode_verified(ByteView frame, const KeyTable& keys);
+
+/// Parse without MAC verification (size accounting, tests).
+std::optional<Envelope> decode_unverified(ByteView frame);
+
+/// Human-readable message-type name (logging).
+const char* type_name(const Message& m) noexcept;
+
+}  // namespace rubin::reptor

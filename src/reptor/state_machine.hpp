@@ -1,0 +1,52 @@
+// Application interface: the deterministic state machine PBFT replicates
+// (the "execution stage", paper §II-B). Implementations must be
+// deterministic — every replica executes the same ordered requests and
+// must reach the same state digest, which is what checkpoints compare.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rubin::reptor {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies one operation and returns its result.
+  virtual Bytes execute(ByteView op) = 0;
+
+  /// Answers a read-only operation WITHOUT mutating state (the PBFT
+  /// read-only fast path). Mutating ops must return an error marker, not
+  /// change anything.
+  virtual Bytes query(ByteView op) const = 0;
+
+  /// Digest of the full application state (checkpoint agreement).
+  virtual Digest state_digest() const = 0;
+
+  /// Serializes the full state (PBFT state transfer).
+  virtual Bytes snapshot() const = 0;
+
+  /// Atomically replaces the state with `snap` *iff* the resulting state
+  /// digest equals `expected` (the digest 2f+1 replicas vouched for).
+  /// Returns false — leaving the current state untouched — on a parse
+  /// error or digest mismatch, so a Byzantine snapshot cannot stick.
+  virtual bool restore(ByteView snap, const Digest& expected) = 0;
+};
+
+/// Trivial deterministic app for tests/benches: a counter supporting
+/// "add:<u64>" and "get" operations; result is the post-op value.
+class CounterApp final : public StateMachine {
+ public:
+  Bytes execute(ByteView op) override;
+  Bytes query(ByteView op) const override;
+  Digest state_digest() const override;
+  Bytes snapshot() const override;
+  bool restore(ByteView snap, const Digest& expected) override;
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace rubin::reptor

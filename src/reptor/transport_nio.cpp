@@ -1,0 +1,248 @@
+#include "reptor/transport_nio.hpp"
+
+namespace rubin::reptor {
+
+namespace {
+constexpr std::uint64_t kAttachListener = 0;
+constexpr std::uint64_t kAttachPeerBase = 2;
+constexpr std::uint64_t kTempFlag = 1ull << 40;  // unidentified accepts
+
+void append_framed(Bytes& out, ByteView frame) {
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.insert(out.end(), frame.begin(), frame.end());
+}
+}  // namespace
+
+NioTransport::NioTransport(tcpsim::TcpNetwork& net, GroupLayout layout,
+                           NodeId self)
+    : Transport(std::move(layout), self),
+      net_(&net),
+      poller_(net),
+      rx_buf_(64 * 1024) {}
+
+bool NioTransport::connected(NodeId peer) const {
+  const auto it = conns_.find(peer);
+  return it != conns_.end() && it->second.socket != nullptr &&
+         it->second.socket->state() == tcpsim::TcpSocket::State::kEstablished;
+}
+
+sim::Task<void> NioTransport::start() {
+  if (layout_.is_replica(self_)) {
+    listener_ = net_->listen(layout_.hosts[self_], layout_.base_port);
+    poller_.register_listener(listener_, tcpsim::kOpAccept, kAttachListener);
+  }
+
+  std::vector<NodeId> targets;
+  const NodeId limit = layout_.is_replica(self_) ? self_ : layout_.replica_count;
+  for (NodeId r = 0; r < limit; ++r) targets.push_back(r);
+
+  for (NodeId peer : targets) {
+    auto sock = net_->connect(layout_.hosts[self_],
+                              {layout_.hosts[peer], layout_.base_port});
+    poller_.register_socket(sock, tcpsim::kOpRead, kAttachPeerBase + peer);
+    Conn conn;
+    conn.socket = std::move(sock);
+    conn.identified = true;  // we know who we dialed
+    conns_[peer] = std::move(conn);
+  }
+
+  auto all_up = [&] {
+    for (NodeId peer : targets) {
+      if (!connected(peer)) return false;
+    }
+    return true;
+  };
+  while (!all_up()) {
+    const std::size_t n = co_await poller_.select(sim::milliseconds(1));
+    if (n > 0) {
+      for (tcpsim::SelectionKey* key : poller_.selected()) {
+        if (key->attachment() == kAttachListener && key->is_acceptable()) {
+          while (auto sock = listener_->accept()) {
+            const std::uint64_t temp = kTempFlag | next_temp_++;
+            poller_.register_socket(sock, tcpsim::kOpRead, temp);
+            Conn conn;
+            conn.socket = std::move(sock);
+            unidentified_[temp] = std::move(conn);
+          }
+        } else if (key->is_readable()) {
+          std::uint64_t att = key->attachment();
+          if (att & kTempFlag) {
+            if (auto it = unidentified_.find(att); it != unidentified_.end()) {
+              co_await drain_socket(it->second, att, early_inbound_);
+              std::uint64_t new_att = att;
+              extract_frames(it->second, new_att, early_inbound_);
+              if (new_att != att) {
+                key->attach(new_att);
+                conns_[static_cast<NodeId>(new_att - kAttachPeerBase)] =
+                    std::move(it->second);
+                unidentified_.erase(it);
+              }
+            }
+          } else if (att >= kAttachPeerBase) {
+            const NodeId peer = static_cast<NodeId>(att - kAttachPeerBase);
+            co_await drain_socket(conns_[peer], att, early_inbound_);
+            extract_frames(conns_[peer], att, early_inbound_);
+          }
+        }
+      }
+    }
+  }
+
+  // Hello must be the first thing on each dialed connection.
+  for (NodeId peer : targets) {
+    Bytes hello(4);
+    for (int i = 0; i < 4; ++i) hello[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(self_ >> (8 * i));
+    Bytes framed;
+    append_framed(framed, hello);
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      off += co_await conns_[peer].socket->write(ByteView(framed).subspan(off));
+    }
+  }
+  co_return;
+}
+
+sim::Task<void> NioTransport::drain_socket(Conn& conn, std::uint64_t,
+                                           std::vector<InboundMsg>&) {
+  for (;;) {
+    const std::size_t n = co_await conn.socket->read(rx_buf_);
+    if (n == 0) break;
+    stats_.bytes_received += n;
+    conn.rx_acc.insert(conn.rx_acc.end(), rx_buf_.begin(),
+                       rx_buf_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  co_return;
+}
+
+void NioTransport::extract_frames(Conn& conn, std::uint64_t& attachment,
+                                  std::vector<InboundMsg>& out) {
+  std::size_t pos = 0;
+  while (conn.rx_acc.size() - pos >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(conn.rx_acc[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    if (conn.rx_acc.size() - pos - 4 < len) break;
+    const auto* frame = conn.rx_acc.data() + pos + 4;
+    if (!conn.identified) {
+      // The hello: 4-byte little-endian node id.
+      NodeId peer = 0;
+      for (std::uint32_t i = 0; i < len && i < 4; ++i) {
+        peer |= static_cast<NodeId>(frame[i]) << (8 * i);
+      }
+      conn.identified = true;
+      attachment = kAttachPeerBase + peer;
+    } else {
+      ++stats_.frames_received;
+      out.push_back(InboundMsg{
+          static_cast<NodeId>(attachment - kAttachPeerBase),
+          Bytes(frame, frame + len)});
+    }
+    pos += 4 + len;
+  }
+  conn.rx_acc.erase(conn.rx_acc.begin(),
+                    conn.rx_acc.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+sim::Task<void> NioTransport::flush() {
+  for (auto& [peer, queue] : outbound_) {
+    const auto it = conns_.find(peer);
+    if (it == conns_.end() || !connected(peer)) continue;
+    Conn& conn = it->second;
+    for (;;) {
+      // Refill the pending buffer from the frame queue.
+      if (conn.tx_off == conn.tx_pending.size()) {
+        conn.tx_pending.clear();
+        conn.tx_off = 0;
+        std::size_t staged = 0;
+        std::size_t staged_bytes = 0;
+        while (!queue.empty() && conn.tx_pending.size() < 256 * 1024) {
+          stats_.bytes_sent += queue.front().size();
+          staged_bytes += queue.front().size();
+          ++stats_.frames_sent;
+          ++staged;
+          append_framed(conn.tx_pending, queue.front());
+          queue.pop_front();
+        }
+        if (conn.tx_pending.empty()) break;
+        ++stats_.flush_batches;
+        co_await net_->simulator().sleep(stack_cost_.time(staged, staged_bytes));
+      }
+      const std::size_t w = co_await conn.socket->write(
+          ByteView(conn.tx_pending).subspan(conn.tx_off));
+      if (w == 0) break;  // kernel buffer full: retry next poll
+      conn.tx_off += w;
+    }
+  }
+  co_return;
+}
+
+sim::Task<std::vector<InboundMsg>> NioTransport::poll(sim::Time timeout) {
+  co_await flush();
+
+  bool backlog = false;
+  for (const auto& [peer, queue] : outbound_) {
+    if (!queue.empty()) backlog = true;
+  }
+  for (const auto& [peer, conn] : conns_) {
+    if (conn.tx_off < conn.tx_pending.size()) backlog = true;
+  }
+  sim::Time effective = timeout;
+  if (backlog) {
+    const sim::Time retry = sim::microseconds(200);
+    effective = (timeout < 0 || timeout > retry) ? retry : timeout;
+  }
+
+  std::vector<InboundMsg> out;
+  if (!early_inbound_.empty()) {
+    out = std::move(early_inbound_);
+    early_inbound_.clear();
+    effective = 0;
+  }
+
+  const std::size_t n = co_await poller_.select(effective);
+  if (n > 0) {
+    for (tcpsim::SelectionKey* key : poller_.selected()) {
+      if (key->attachment() == kAttachListener) {
+        if (key->is_acceptable()) {
+          while (auto sock = listener_->accept()) {
+            const std::uint64_t temp = kTempFlag | next_temp_++;
+            poller_.register_socket(sock, tcpsim::kOpRead, temp);
+            Conn conn;
+            conn.socket = std::move(sock);
+            unidentified_[temp] = std::move(conn);
+          }
+        }
+        continue;
+      }
+      if (!key->is_readable()) continue;
+      std::uint64_t att = key->attachment();
+      if (att & kTempFlag) {
+        if (auto it = unidentified_.find(att); it != unidentified_.end()) {
+          co_await drain_socket(it->second, att, out);
+          std::uint64_t new_att = att;
+          extract_frames(it->second, new_att, out);
+          if (new_att != att) {
+            key->attach(new_att);
+            conns_[static_cast<NodeId>(new_att - kAttachPeerBase)] =
+                std::move(it->second);
+            unidentified_.erase(it);
+          }
+        }
+      } else if (att >= kAttachPeerBase) {
+        const NodeId peer = static_cast<NodeId>(att - kAttachPeerBase);
+        co_await drain_socket(conns_[peer], att, out);
+        extract_frames(conns_[peer], att, out);
+      }
+    }
+  }
+  if (!out.empty()) {
+    std::size_t bytes = 0;
+    for (const InboundMsg& m : out) bytes += m.frame.size();
+    co_await net_->simulator().sleep(stack_cost_.time(out.size(), bytes));
+  }
+  co_return out;
+}
+
+}  // namespace rubin::reptor

@@ -1,0 +1,269 @@
+#include "reptor/transport_rubin.hpp"
+
+namespace rubin::reptor {
+
+namespace {
+/// Key attachments: 0 = server channel, 1 = unidentified, peer id + 2
+/// otherwise.
+constexpr std::uint64_t kAttachServer = 0;
+constexpr std::uint64_t kAttachUnidentified = 1;
+constexpr std::uint64_t kAttachPeerBase = 2;
+
+Bytes hello_frame(NodeId self) {
+  Bytes b(4);
+  for (int i = 0; i < 4; ++i) b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(self >> (8 * i));
+  return b;
+}
+
+NodeId parse_hello(ByteView b) {
+  NodeId id = 0;
+  for (int i = 0; i < 4 && i < static_cast<int>(b.size()); ++i) {
+    id |= static_cast<NodeId>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return id;
+}
+}  // namespace
+
+RubinTransport::RubinTransport(nio::RubinContext& ctx, GroupLayout layout,
+                               NodeId self, nio::ChannelConfig ccfg,
+                               std::size_t batch_limit)
+    : Transport(std::move(layout), self),
+      ctx_(&ctx),
+      ccfg_(ccfg),
+      batch_limit_(batch_limit == 0 ? 1 : batch_limit),
+      selector_(ctx),
+      rx_buf_(ccfg.buffer_size) {}
+
+bool RubinTransport::connected(NodeId peer) const {
+  const auto it = conns_.find(peer);
+  return it != conns_.end() && it->second.channel != nullptr &&
+         it->second.channel->state() == nio::RdmaChannel::State::kEstablished;
+}
+
+bool RubinTransport::is_dialer(NodeId peer) const {
+  return layout_.is_replica(self_) ? peer < self_
+                                   : peer < layout_.replica_count;
+}
+
+void RubinTransport::adopt_channel(NodeId peer,
+                                   std::shared_ptr<nio::RdmaChannel> ch) {
+  Conn& conn = conns_[peer];
+  if (conn.channel && conn.channel != ch) {
+    // A replacement connection (peer re-dialed after a break): retire the
+    // old channel and its selection key.
+    if (auto* key = selector_.find_key(conn.channel->id())) key->cancel();
+    conn.channel->close();
+    conn.in_flight.clear();
+  }
+  conn.channel = std::move(ch);
+}
+
+void RubinTransport::redial(NodeId peer) {
+  Conn& conn = conns_[peer];
+  if (conn.channel) {
+    if (auto* key = selector_.find_key(conn.channel->id())) key->cancel();
+    conn.channel->close();
+    conn.in_flight.clear();
+  }
+  auto ch = ctx_->connect(layout_.hosts[peer], layout_.base_port, ccfg_);
+  selector_.register_channel(ch, nio::kOpAccept | nio::kOpReceive,
+                             kAttachPeerBase + peer);
+  conn.channel = std::move(ch);
+  conn.hello_sent = false;
+  conn.dial_time = ctx_->simulator().now();
+}
+
+sim::Task<void> RubinTransport::maintain_connections() {
+  const sim::Time now = ctx_->simulator().now();
+  const sim::Time redial_backoff = sim::milliseconds(1);
+  const sim::Time connect_timeout = sim::milliseconds(3);
+  for (auto& [peer, conn] : conns_) {
+    if (!conn.channel) continue;
+    const auto state = conn.channel->state();
+    if (is_dialer(peer)) {
+      const bool dead = state == nio::RdmaChannel::State::kClosed;
+      const bool stuck = state == nio::RdmaChannel::State::kConnecting &&
+                         now - conn.dial_time > connect_timeout;
+      if ((dead || stuck) && now - conn.dial_time > redial_backoff) {
+        redial(peer);
+        continue;
+      }
+      if (state == nio::RdmaChannel::State::kEstablished && !conn.hello_sent) {
+        // The hello must precede any protocol frame on the new channel.
+        const Bytes hello = hello_frame(self_);
+        if (co_await conn.channel->write(hello) > 0) conn.hello_sent = true;
+      }
+    } else if (state == nio::RdmaChannel::State::kClosed) {
+      // Acceptor side: drop the dead channel and wait for the dialer's
+      // replacement to arrive through the server channel.
+      if (auto* key = selector_.find_key(conn.channel->id())) key->cancel();
+      conn.channel.reset();
+      conn.in_flight.clear();
+    }
+  }
+  co_return;
+}
+
+sim::Task<void> RubinTransport::start() {
+  if (layout_.is_replica(self_)) {
+    server_ = ctx_->listen(layout_.base_port, ccfg_);
+    selector_.register_server(server_, nio::kOpConnect | nio::kOpAccept,
+                              kAttachServer);
+  }
+
+  // Initiate: replicas dial lower-numbered replicas; clients dial all.
+  std::vector<NodeId> targets;
+  const NodeId limit = layout_.is_replica(self_) ? self_ : layout_.replica_count;
+  for (NodeId r = 0; r < limit; ++r) targets.push_back(r);
+
+  for (NodeId peer : targets) {
+    auto ch = ctx_->connect(layout_.hosts[peer], layout_.base_port, ccfg_);
+    selector_.register_channel(ch, nio::kOpAccept | nio::kOpReceive,
+                               kAttachPeerBase + peer);
+    adopt_channel(peer, std::move(ch));
+  }
+
+  // Wait for every initiated connection; keep servicing our own accepts
+  // meanwhile (replica i>0 establishing to 0..i-1 while i+1..n-1 dial us).
+  auto all_up = [&] {
+    for (NodeId peer : targets) {
+      if (!connected(peer)) return false;
+    }
+    return true;
+  };
+  while (!all_up()) {
+    const std::size_t n = co_await selector_.select(sim::milliseconds(1));
+    if (n > 0) {
+      for (nio::RdmaSelectionKey* key : selector_.selected()) {
+        if (key->server_channel()) {
+          while (server_->pending_requests() > 0) (void)server_->accept();
+          while (auto ch = server_->next_established()) {
+            selector_.register_channel(ch, nio::kOpReceive,
+                                       kAttachUnidentified);
+            unidentified_.push_back(std::move(ch));
+          }
+        } else if (key->is_receivable() && key->channel()) {
+          // Frames landing during startup are kept for the first poll().
+          co_await drain_channel(*key->channel(),
+                                 static_cast<NodeId>(key->attachment()),
+                                 early_inbound_);
+        }
+      }
+    }
+  }
+
+  // Identify ourselves: the hello must be the first frame on the wire.
+  for (NodeId peer : targets) {
+    const Bytes hello = hello_frame(self_);
+    std::size_t n = 0;
+    while (n == 0) n = co_await conns_[peer].channel->write(hello);
+  }
+  co_return;
+}
+
+sim::Task<void> RubinTransport::drain_channel(nio::RdmaChannel& ch,
+                                              NodeId attachment,
+                                              std::vector<InboundMsg>& out) {
+  for (;;) {
+    const std::size_t n = co_await ch.read(rx_buf_);
+    if (n == 0) break;
+    stats_.bytes_received += n;
+    if (attachment == kAttachUnidentified) {
+      // First frame on an accepted connection: the peer's hello.
+      const NodeId peer = parse_hello(ByteView(rx_buf_).first(n));
+      adopt_channel(peer, ch.shared_from_this());
+      std::erase_if(unidentified_,
+                    [&](const auto& c) { return c.get() == &ch; });
+      attachment = kAttachPeerBase + peer;
+      // Rebind the selection key so later drains route directly.
+      if (auto* key = selector_.find_key(ch.id())) key->attach(attachment);
+      continue;
+    }
+    ++stats_.frames_received;
+    out.push_back(InboundMsg{static_cast<NodeId>(attachment - kAttachPeerBase),
+                             Bytes(rx_buf_.begin(),
+                                   rx_buf_.begin() + static_cast<std::ptrdiff_t>(n))});
+  }
+  co_return;
+}
+
+sim::Task<void> RubinTransport::flush() {
+  for (auto& [peer, queue] : outbound_) {
+    if (queue.empty()) continue;
+    const auto it = conns_.find(peer);
+    if (it == conns_.end() || !connected(peer)) continue;
+    Conn& conn = it->second;
+    while (!queue.empty()) {
+      std::vector<ByteView> batch;
+      const std::size_t take = std::min(batch_limit_, queue.size());
+      for (std::size_t i = 0; i < take; ++i) batch.push_back(queue[i]);
+      const std::size_t accepted =
+          co_await conn.channel->write_batch(std::move(batch));
+      ++stats_.flush_batches;
+      if (accepted == 0) break;  // backpressure: retry next poll
+      std::size_t accepted_bytes = 0;
+      for (std::size_t i = 0; i < accepted; ++i) accepted_bytes += queue[i].size();
+      co_await ctx_->simulator().sleep(
+          stack_cost_.time(accepted, accepted_bytes));
+      for (std::size_t i = 0; i < accepted; ++i) {
+        stats_.bytes_sent += queue.front().size();
+        ++stats_.frames_sent;
+        // Zero-copy: the frame's bytes must outlive the WR; park them.
+        conn.in_flight.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+      // The send window is buffer_count WRs deep, so anything beyond
+      // 2x that depth has certainly completed — safe to retire.
+      while (conn.in_flight.size() > 2 * ccfg_.buffer_count) {
+        conn.in_flight.pop_front();
+      }
+      if (accepted < take) break;
+    }
+  }
+  co_return;
+}
+
+sim::Task<std::vector<InboundMsg>> RubinTransport::poll(sim::Time timeout) {
+  co_await maintain_connections();
+  co_await flush();
+
+  bool backlog = false;
+  for (const auto& [peer, queue] : outbound_) {
+    if (!queue.empty()) backlog = true;
+  }
+  sim::Time effective = timeout;
+  if (backlog) {
+    const sim::Time retry = sim::microseconds(200);
+    effective = (timeout < 0 || timeout > retry) ? retry : timeout;
+  }
+
+  std::vector<InboundMsg> out;
+  if (!early_inbound_.empty()) {
+    out = std::move(early_inbound_);
+    early_inbound_.clear();
+    effective = 0;  // just sweep what else is already there
+  }
+  const std::size_t n = co_await selector_.select(effective);
+  if (n > 0) {
+    for (nio::RdmaSelectionKey* key : selector_.selected()) {
+      if (key->server_channel()) {
+        while (server_->pending_requests() > 0) (void)server_->accept();
+        while (auto ch = server_->next_established()) {
+          selector_.register_channel(ch, nio::kOpReceive, kAttachUnidentified);
+          unidentified_.push_back(std::move(ch));
+        }
+      } else if (key->is_receivable() && key->channel()) {
+        co_await drain_channel(*key->channel(),
+                               static_cast<NodeId>(key->attachment()), out);
+      }
+    }
+  }
+  if (!out.empty()) {
+    std::size_t bytes = 0;
+    for (const InboundMsg& m : out) bytes += m.frame.size();
+    co_await ctx_->simulator().sleep(stack_cost_.time(out.size(), bytes));
+  }
+  co_return out;
+}
+
+}  // namespace rubin::reptor

@@ -1,0 +1,52 @@
+#include "rubin/buffer_pool.hpp"
+
+#include <stdexcept>
+
+namespace rubin::nio {
+
+BufferPool::BufferPool(verbs::ProtectionDomain& pd, std::uint32_t count,
+                       std::size_t size, std::uint32_t access)
+    : pd_(&pd), slab_(static_cast<std::size_t>(count) * size), count_(count),
+      size_(size) {
+  mr_ = pd.register_memory(slab_, access);
+  free_.reserve(count);
+  // LIFO free list: the most recently used slot is the warmest in cache.
+  for (std::uint32_t i = count; i > 0; --i) free_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() { pd_->deregister(mr_); }
+
+std::optional<std::uint32_t> BufferPool::acquire() {
+  if (free_.empty()) return std::nullopt;
+  const std::uint32_t slot = free_.back();
+  free_.pop_back();
+  return slot;
+}
+
+void BufferPool::release(std::uint32_t slot) {
+  if (slot >= count_) throw std::out_of_range("BufferPool::release: bad slot");
+  free_.push_back(slot);
+}
+
+verbs::Sge BufferPool::sge(std::uint32_t slot, std::uint32_t len) const {
+  if (slot >= count_ || len > size_) {
+    throw std::out_of_range("BufferPool::sge: bad slot or length");
+  }
+  return verbs::Sge{mr_->addr() + static_cast<std::uint64_t>(slot) * size_,
+                    len, mr_->lkey()};
+}
+
+MutByteView BufferPool::view(std::uint32_t slot) {
+  if (slot >= count_) throw std::out_of_range("BufferPool::view: bad slot");
+  return MutByteView(slab_).subspan(static_cast<std::size_t>(slot) * size_,
+                                    size_);
+}
+
+ByteView BufferPool::view(std::uint32_t slot, std::size_t len) const {
+  if (slot >= count_ || len > size_) {
+    throw std::out_of_range("BufferPool::view: bad slot or length");
+  }
+  return ByteView(slab_).subspan(static_cast<std::size_t>(slot) * size_, len);
+}
+
+}  // namespace rubin::nio

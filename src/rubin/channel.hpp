@@ -1,0 +1,214 @@
+// RdmaChannel / RdmaServerChannel — the RUBIN abstractions of the Java NIO
+// SocketChannel / ServerSocketChannel over RDMA queue pairs (paper §III-B).
+//
+// A channel is message-oriented (one message == one work request == one
+// pooled buffer), non-blocking (read/write transfer what they can and
+// return), and carries a unique connection identifier the selector uses to
+// match events to channels. All §IV optimizations live here:
+//   * pre-registered send/receive buffer pools, receives pre-posted;
+//   * batched WR posting (write_batch -> one doorbell);
+//   * selective signaling (signal every Nth send, reclaim in order);
+//   * inline sends below a threshold;
+//   * cached registration of application send buffers (zero-copy send);
+//   * the receive-side copy the paper identifies as the large-message
+//     bottleneck — removable with ChannelConfig::zero_copy_receive to
+//     measure the paper's planned future optimization.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "rubin/buffer_pool.hpp"
+#include "rubin/config.hpp"
+#include "sim/event.hpp"
+#include "sim/task.hpp"
+#include "verbs/cm.hpp"
+#include "verbs/device.hpp"
+
+namespace rubin::nio {
+
+class RubinContext;
+class RdmaSelector;
+class RdmaServerChannel;
+
+/// Channel statistics for the ablation benches.
+struct ChannelStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t inline_sends = 0;
+  std::uint64_t zero_copy_sends = 0;
+  std::uint64_t pool_copy_sends = 0;
+  std::uint64_t signaled_completions = 0;
+  std::uint64_t doorbells = 0;
+  std::uint64_t send_registrations = 0;  // zero-copy cache misses
+  std::uint64_t receive_copies = 0;
+};
+
+class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
+ public:
+  enum class State : std::uint8_t { kConnecting, kEstablished, kClosed };
+
+  State state() const noexcept { return state_; }
+  bool is_open() const noexcept { return state_ != State::kClosed; }
+  /// Unique connection identifier (paper: "every created channel is
+  /// associated with a unique connection identifier").
+  std::uint64_t id() const noexcept { return id_; }
+  const ChannelConfig& config() const noexcept { return cfg_; }
+  const ChannelStats& stats() const noexcept { return stats_; }
+  net::HostId remote_host() const noexcept { return qp_->remote_host(); }
+
+  /// Sends one message. Returns msg.size() on success, 0 when the channel
+  /// is not established or out of send capacity (retry on kOpSend
+  /// readiness). Throws std::invalid_argument for messages larger than
+  /// the configured buffer size.
+  ///
+  /// Lifetime: with zero_copy_send (default), messages above the inline
+  /// threshold are DMA-read from the caller's buffer *after* write
+  /// returns — the buffer must stay alive and unmodified until the WR
+  /// completes (in practice: until the peer has consumed the message).
+  /// Inline and pool-copy sends have no such requirement. This is the
+  /// standard RDMA zero-copy contract; Reptor-style transports that
+  /// cannot guarantee it disable zero_copy_send and pay the copy, which
+  /// is exactly the trade-off measured in Fig. 4.
+  sim::Task<std::size_t> write(ByteView msg);
+
+  /// Sends up to msgs.size() messages with a single doorbell (§IV batch
+  /// posting); stops early when capacity runs out. Returns the number of
+  /// messages accepted.
+  sim::Task<std::size_t> write_batch(std::vector<ByteView> msgs);
+
+  /// Receives one message into `out`. Returns its size, or 0 when no
+  /// message is pending. Throws std::invalid_argument if `out` is smaller
+  /// than the pending message (message-oriented, no partial reads).
+  sim::Task<std::size_t> read(MutByteView out);
+
+  /// Messages currently buffered and readable without blocking.
+  std::size_t readable_messages() noexcept;
+  /// True when write() would accept a message right now.
+  bool writable() noexcept;
+
+  /// Standalone (selector-less) helper: waits until a message arrives or
+  /// the channel dies, then reads it. Used by the Fig-3 micro-benchmark.
+  sim::Task<std::size_t> read_await(MutByteView out);
+
+  /// Closes the channel; the peer observes kOpReceive readiness with
+  /// read() == 0 and state() == kClosed.
+  void close();
+
+  ~RdmaChannel();
+
+ private:
+  friend class RubinContext;
+  friend class RdmaSelector;
+  friend class RdmaServerChannel;
+
+  RdmaChannel(RubinContext& ctx, std::uint64_t id, ChannelConfig cfg);
+
+  /// Late initialization: QP + pools (needs shared_from_this for sinks).
+  void init_qp();
+  void on_cm_event(const verbs::CmEvent& e);
+  /// Charges the app thread for completion events consumed since the last
+  /// operation (fd read + ack).
+  sim::Task<void> ack_events();
+  /// Drains both CQs into channel state (filled receives, reclaimed send
+  /// slots) and re-arms them.
+  void pump();
+  void notify();
+
+  struct OutstandingSend {
+    std::int32_t pool_slot = -1;  // -1: inline or zero-copy (no pool slot)
+    bool signaled = false;
+  };
+  struct FilledRecv {
+    std::uint32_t slot = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// Builds the WR for one message, charging the caller's CPU as needed.
+  /// Returns false when capacity is exhausted (nothing charged).
+  sim::Task<bool> stage_message(ByteView msg, std::vector<verbs::SendWr>& out);
+
+  RubinContext* ctx_;
+  std::uint64_t id_;
+  ChannelConfig cfg_;
+  State state_ = State::kConnecting;
+
+  verbs::CompletionChannel* comp_channel_ = nullptr;
+  verbs::CompletionQueue* send_cq_ = nullptr;
+  verbs::CompletionQueue* recv_cq_ = nullptr;
+  std::shared_ptr<verbs::QueuePair> qp_;
+  std::unique_ptr<BufferPool> send_pool_;
+  std::unique_ptr<BufferPool> recv_pool_;
+
+  std::deque<OutstandingSend> outstanding_;
+  /// Completion events delivered but not yet acknowledged by the
+  /// application thread; the next channel operation pays event_ack_cpu
+  /// for each (selective signaling keeps this small).
+  std::uint32_t unacked_events_ = 0;
+  std::deque<FilledRecv> filled_;
+  std::uint32_t sends_since_signal_ = 0;
+  std::uint64_t conn_id_ = 0;  // CM connection, 0 until known
+
+  /// Cached MRs for zero-copy sends, keyed by buffer base address.
+  std::map<const std::uint8_t*, verbs::MemoryRegion*> send_mr_cache_;
+
+  /// Selector hookup (null when unregistered).
+  std::function<void()> selector_notify_;
+  /// Standalone wakeup for read_await().
+  sim::Event activity_;
+
+  ChannelStats stats_;
+};
+
+/// Listening channel. kOpConnect readiness = pending connection requests;
+/// kOpAccept readiness = accepted connections that finished establishing.
+class RdmaServerChannel
+    : public std::enable_shared_from_this<RdmaServerChannel> {
+ public:
+  std::uint64_t id() const noexcept { return id_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  std::size_t pending_requests() const noexcept { return pending_.size(); }
+
+  /// Accepts the oldest pending request: allocates the server-side channel
+  /// (QP + pools, receives pre-posted) and completes the CM handshake.
+  /// The channel surfaces on next_established() once the handshake ends.
+  /// Returns nullptr when nothing is pending.
+  std::shared_ptr<RdmaChannel> accept();
+
+  /// Connections whose establishment finished but has not been consumed.
+  std::size_t established_count() const noexcept { return established_.size(); }
+  std::shared_ptr<RdmaChannel> next_established();
+
+  void close();
+
+ private:
+  friend class RubinContext;
+  friend class RdmaSelector;
+
+  RdmaServerChannel(RubinContext& ctx, std::uint64_t id, std::uint16_t port,
+                    ChannelConfig cfg);
+  void on_cm_event(const verbs::CmEvent& e);
+  /// Charges the app thread for completion events consumed since the last
+  /// operation (fd read + ack).
+  sim::Task<void> ack_events();
+  void notify();
+
+  RubinContext* ctx_;
+  std::uint64_t id_;
+  std::uint16_t port_;
+  ChannelConfig cfg_;
+  std::shared_ptr<verbs::CmListener> listener_;
+  std::deque<verbs::CmEvent> pending_;  // unaccepted kConnectRequest events
+  std::map<std::uint64_t, std::shared_ptr<RdmaChannel>> accepting_;
+  std::deque<std::shared_ptr<RdmaChannel>> established_;
+  std::function<void()> selector_notify_;
+  bool closed_ = false;
+};
+
+}  // namespace rubin::nio

@@ -1,0 +1,51 @@
+// RubinContext: per-host entry point of the RUBIN library. Owns the
+// protection domain and wires channels to the host's device and the
+// fabric-wide connection manager.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rubin/channel.hpp"
+#include "rubin/config.hpp"
+#include "verbs/cm.hpp"
+#include "verbs/device.hpp"
+
+namespace rubin::nio {
+
+class RubinContext {
+ public:
+  RubinContext(verbs::Device& device, verbs::ConnectionManager& cm)
+      : dev_(&device), cm_(&cm) {}
+  RubinContext(const RubinContext&) = delete;
+  RubinContext& operator=(const RubinContext&) = delete;
+
+  verbs::Device& device() noexcept { return *dev_; }
+  verbs::ConnectionManager& cm() noexcept { return *cm_; }
+  verbs::ProtectionDomain& pd() noexcept { return pd_; }
+  sim::Simulator& simulator() noexcept { return dev_->simulator(); }
+  const net::CostModel& cost() const noexcept { return dev_->cost(); }
+  net::HostId host() const noexcept { return dev_->host(); }
+
+  /// Binds a listening channel on this host.
+  std::shared_ptr<RdmaServerChannel> listen(std::uint16_t port,
+                                            ChannelConfig cfg = {});
+
+  /// Opens a client channel to (remote, port). Non-blocking: the returned
+  /// channel is kConnecting; kOpAccept readiness (or state() ==
+  /// kEstablished) signals completion.
+  std::shared_ptr<RdmaChannel> connect(net::HostId remote, std::uint16_t port,
+                                       ChannelConfig cfg = {});
+
+ private:
+  friend class RdmaChannel;
+  friend class RdmaServerChannel;
+  std::uint64_t next_id() noexcept { return next_id_++; }
+
+  verbs::Device* dev_;
+  verbs::ConnectionManager* cm_;
+  verbs::ProtectionDomain pd_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace rubin::nio

@@ -1,0 +1,117 @@
+// OneSidedChannel — the design RUBIN rejected (paper §III-A), implemented
+// so the trade-off is measurable instead of rhetorical.
+//
+// Messages travel as RDMA WRITEs into a ring of fixed slots in the
+// *receiver's* memory (the DARE/FaRM mailbox pattern); the receiver
+// polls, and returns credits by RDMA-writing its consumed counter into
+// the sender's memory. No completion events, no receive WRs — which is
+// precisely why it cannot sit behind the event-driven RdmaSelector, and
+// why the receiver must expose remotely writable memory:
+//
+//   * lowest latency of all modes (matches the paper's Fig. 3 R/W line);
+//   * "an application [must] expose its buffers to the connected remote
+//     nodes" — anyone holding the rkey can corrupt the ring (§III-C);
+//     tests demonstrate both the corruption and that Reptor's HMACs
+//     detect it;
+//   * per-peer pinned rings: memory and coordination grow with the group,
+//     the paper's scalability objection.
+//
+// Bootstrap: ring addresses/rkeys are exchanged over one two-sided
+// send/receive round on the same QP.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "rubin/context.hpp"
+#include "sim/task.hpp"
+#include "verbs/device.hpp"
+
+namespace rubin::nio {
+
+struct OneSidedConfig {
+  std::uint32_t slot_count = 32;
+  std::size_t slot_payload = 128 * 1024;
+  /// Receiver returns credits after consuming this many slots.
+  std::uint32_t credit_interval = 8;
+  /// Poll loop granularity for read_await.
+  sim::Time poll_interval = sim::microseconds(1.0);
+};
+
+struct OneSidedStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t credit_writes = 0;
+  std::uint64_t no_credit_stalls = 0;
+};
+
+class OneSidedChannel {
+ public:
+  /// Builds a connected pair over two contexts (tests/benches wire QPs
+  /// directly; production would run the same exchange through the CM).
+  /// The returned channels are ready for write()/read() once the
+  /// bootstrap handshake completes — await `ready()`.
+  static std::pair<std::unique_ptr<OneSidedChannel>,
+                   std::unique_ptr<OneSidedChannel>>
+  create_pair(RubinContext& a, RubinContext& b, OneSidedConfig cfg = {});
+
+  /// One-sided send: RDMA-writes the message into the peer's ring.
+  /// Returns msg.size(), or 0 when out of credits (peer not consuming).
+  sim::Task<std::size_t> write(ByteView msg);
+
+  /// Polls the local ring; returns the next message or 0 if none.
+  sim::Task<std::size_t> read(MutByteView out);
+
+  /// Polling receive (there are *no* events to wait on — the defining
+  /// limitation of this design).
+  sim::Task<std::size_t> read_await(MutByteView out);
+
+  const OneSidedStats& stats() const noexcept { return stats_; }
+  const OneSidedConfig& config() const noexcept { return cfg_; }
+  /// Remotely writable bytes this endpoint must expose (the §III-C
+  /// attack surface; grows linearly with the number of peers).
+  std::size_t exposed_bytes() const noexcept { return ring_.size() + 16; }
+  /// The ring's rkey — what an attacker needs to corrupt this channel
+  /// (exposed for the security-demonstration tests).
+  std::uint32_t ring_rkey() const noexcept { return ring_mr_->rkey(); }
+  std::uint64_t ring_addr() const noexcept { return ring_mr_->addr(); }
+  verbs::QueuePair& qp() noexcept { return *qp_; }
+
+ private:
+  OneSidedChannel(RubinContext& ctx, OneSidedConfig cfg);
+
+  std::size_t slot_stride() const noexcept {
+    return 16 + cfg_.slot_payload;  // u32 len | u32 pad | u64 seq | payload
+  }
+  sim::Task<void> return_credits();
+
+  RubinContext* ctx_;
+  OneSidedConfig cfg_;
+  std::shared_ptr<verbs::QueuePair> qp_;
+  verbs::CompletionQueue* scq_ = nullptr;
+  verbs::CompletionQueue* rcq_ = nullptr;
+
+  // Local (exposed) resources.
+  Bytes ring_;                 // inbound slots, remotely written
+  Bytes credit_cell_;          // sender-side: peer writes consumed count
+  verbs::MemoryRegion* ring_mr_ = nullptr;
+  verbs::MemoryRegion* credit_mr_ = nullptr;
+  Bytes bootstrap_buf_;        // two-sided handshake scratch
+  verbs::MemoryRegion* bootstrap_mr_ = nullptr;
+
+  // Remote targets (learned in the bootstrap).
+  std::uint64_t remote_ring_addr_ = 0;
+  std::uint32_t remote_ring_rkey_ = 0;
+  std::uint64_t remote_credit_addr_ = 0;
+  std::uint32_t remote_credit_rkey_ = 0;
+
+  std::uint64_t sent_seq_ = 0;      // messages written to the peer
+  std::uint64_t recv_seq_ = 0;      // messages consumed locally
+  std::uint64_t credited_seq_ = 0;  // last consumed count sent to the peer
+  std::uint64_t wr_seq_ = 0;        // selective-signaling counter
+
+  OneSidedStats stats_;
+};
+
+}  // namespace rubin::nio

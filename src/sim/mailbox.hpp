@@ -1,0 +1,74 @@
+// Single-consumer awaitable FIFO queue: the primitive on which NIC receive
+// paths, connection managers and transports hand work to their owning
+// coroutine.
+//
+// Contract: at most one coroutine awaits recv() at a time (the "owner").
+// Multiple producers are fine — the simulator is single-threaded, so push
+// is never concurrent with anything. Wake-ups are strictly paired with
+// queued items, which is what makes the single-consumer contract sound.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace rubin::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator& sim) : sim_(&sim) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+
+  /// Enqueues an item; wakes the waiting consumer (if any) via the event
+  /// queue at the current instant.
+  void push(T item) {
+    items_.push_back(std::move(item));
+    if (waiter_) {
+      auto h = std::exchange(waiter_, nullptr);
+      sim_->post([h] { h.resume(); });
+    }
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Awaitable receive. Precondition: no other coroutine is waiting.
+  auto recv() {
+    struct Awaiter {
+      Mailbox* mb;
+      bool await_ready() const noexcept { return !mb->items_.empty(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(mb->waiter_ == nullptr && "Mailbox is single-consumer");
+        mb->waiter_ = h;
+      }
+      T await_resume() {
+        assert(!mb->items_.empty());
+        T v = std::move(mb->items_.front());
+        mb->items_.pop_front();
+        return v;
+      }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::coroutine_handle<> waiter_ = nullptr;
+};
+
+}  // namespace rubin::sim

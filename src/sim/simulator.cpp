@@ -1,0 +1,95 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+namespace rubin::sim {
+
+/// Grants the root-task driver access to Simulator::root_finished without
+/// making it part of the public API.
+struct RootDriverAccess {
+  static void finished(Simulator* sim) noexcept { sim->root_finished(); }
+};
+
+namespace {
+
+/// Self-destructing driver for root tasks: owns the child Task in its frame
+/// (so the child's frame dies with it) and evaporates at final_suspend.
+struct RootDriver {
+  struct promise_type {
+    RootDriver get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      std::fprintf(stderr, "fatal: exception escaped a root sim task\n");
+      std::terminate();
+    }
+  };
+};
+
+RootDriver drive(Task<> task, Simulator* sim) {
+  co_await std::move(task);
+  RootDriverAccess::finished(sim);
+}
+
+}  // namespace
+
+TimerId Simulator::schedule_at(Time t, UniqueFunction fn) {
+  const TimerId id = next_seq_++;
+  heap_.push_back(Entry{std::max(t, now_), id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end());
+  return id;
+}
+
+TimerId Simulator::schedule_after(Time delay, UniqueFunction fn) {
+  return schedule_at(now_ + std::max<Time>(delay, 0), std::move(fn));
+}
+
+void Simulator::cancel(TimerId id) {
+  // Tombstone; cleared when the entry pops. Cancelling an already-fired
+  // timer leaves a stale tombstone, which is harmless but means callers
+  // should prefer cancelling timers they know are pending.
+  cancelled_.insert(id);
+}
+
+void Simulator::spawn(Task<> task) {
+  ++live_roots_;
+  // Start through the queue so spawn order == start order and spawn()
+  // itself never runs user code.
+  post([t = std::move(task), this]() mutable { drive(std::move(t), this); });
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    if (auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.t;
+    ++events_processed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!heap_.empty()) {
+    // Heap front is the earliest pending event.
+    if (heap_.front().t > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace rubin::sim

@@ -1,0 +1,103 @@
+// Discrete-event simulator with a virtual nanosecond clock.
+//
+// Single-threaded and deterministic: events fire in (time, insertion-seq)
+// order, so two events scheduled for the same instant run in the order they
+// were scheduled. Simulated processes are C++20 coroutines (sim::Task) that
+// suspend on awaitables (sleep, Event, Mailbox) and are resumed by the
+// event loop; no OS threads, no wall clock.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace rubin::sim {
+
+/// Handle for cancelling a scheduled callback.
+using TimerId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (clamped to now).
+  TimerId schedule_at(Time t, UniqueFunction fn);
+
+  /// Schedules `fn` after `delay` nanoseconds (clamped to >= 0).
+  TimerId schedule_after(Time delay, UniqueFunction fn);
+
+  /// Schedules `fn` at the current time, after already-queued events for
+  /// this instant. The simulation's "yield to the event loop".
+  TimerId post(UniqueFunction fn) { return schedule_after(0, std::move(fn)); }
+
+  /// Cancels a pending callback. Safe to call after it fired (no-op).
+  void cancel(TimerId id);
+
+  /// Starts a root coroutine. It begins running when the event loop next
+  /// reaches the current instant; its frame is destroyed on completion.
+  /// Exceptions escaping a root task call std::terminate — a simulated
+  /// process with nobody to rethrow to is a test bug.
+  void spawn(Task<> task);
+
+  /// Runs one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs until virtual time would exceed `deadline` (events at exactly
+  /// `deadline` still run) or the queue empties.
+  void run_until(Time deadline);
+  void run_for(Time duration) { run_until(now_ + duration); }
+
+  /// Awaitable: suspends the calling coroutine for `delay` virtual ns.
+  auto sleep(Time delay) {
+    struct Awaiter {
+      Simulator* sim;
+      Time delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->schedule_after(delay, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  /// Number of root tasks spawned that have not yet completed.
+  std::size_t live_roots() const noexcept { return live_roots_; }
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+ private:
+  friend struct RootDriverAccess;
+  void root_finished() noexcept { --live_roots_; }
+
+  struct Entry {
+    Time t;
+    std::uint64_t seq;
+    UniqueFunction fn;
+    // Min-heap on (t, seq): std::push_heap keeps the *largest* on top, so
+    // "greater" entries are the ones that fire later.
+    bool operator<(const Entry& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  std::unordered_set<TimerId> cancelled_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t live_roots_ = 0;
+};
+
+}  // namespace rubin::sim

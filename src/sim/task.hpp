@@ -1,0 +1,161 @@
+// Lazy coroutine task used for all simulated "processes".
+//
+// A Task<T> does nothing until it is co_awaited (or handed to
+// Simulator::spawn). When the inner coroutine finishes, control transfers
+// symmetrically back to the awaiter, so arbitrarily deep call chains run
+// without growing the native stack. Exceptions propagate to the awaiter.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace rubin::sim {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    // Hand control back to whoever awaited us; if nobody did (detached
+    // driver), park on a noop coroutine.
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+template <typename T>
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase<T> {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : coro_(h) {}
+  Task(Task&& o) noexcept : coro_(std::exchange(o.coro_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      coro_ = std::exchange(o.coro_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return coro_ != nullptr; }
+  bool done() const noexcept { return coro_ && coro_.done(); }
+
+  /// Awaiting a task starts it and suspends the awaiter until it finishes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> coro;
+      bool await_ready() noexcept { return coro.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        coro.promise().continuation = awaiting;
+        return coro;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        if (coro.promise().exception) std::rethrow_exception(coro.promise().exception);
+        return std::move(*coro.promise().value);
+      }
+    };
+    return Awaiter{coro_};
+  }
+
+  /// Releases ownership of the handle (Simulator::spawn takes over).
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(coro_, nullptr);
+  }
+
+ private:
+  void destroy() noexcept {
+    if (coro_) {
+      coro_.destroy();
+      coro_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> coro_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : coro_(h) {}
+  Task(Task&& o) noexcept : coro_(std::exchange(o.coro_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      coro_ = std::exchange(o.coro_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return coro_ != nullptr; }
+  bool done() const noexcept { return coro_ && coro_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> coro;
+      bool await_ready() noexcept { return coro.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        coro.promise().continuation = awaiting;
+        return coro;
+      }
+      void await_resume() {
+        if (coro.promise().exception) std::rethrow_exception(coro.promise().exception);
+      }
+    };
+    return Awaiter{coro_};
+  }
+
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(coro_, nullptr);
+  }
+
+ private:
+  void destroy() noexcept {
+    if (coro_) {
+      coro_.destroy();
+      coro_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> coro_;
+};
+
+}  // namespace rubin::sim

@@ -1,0 +1,34 @@
+// Virtual time. The discrete-event simulator advances a nanosecond clock;
+// nothing in the code base reads the wall clock, which is what makes runs
+// bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rubin::sim {
+
+/// Virtual time / durations in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time nanoseconds(std::int64_t n) { return n; }
+constexpr Time microseconds(double us) {
+  return static_cast<Time>(us * static_cast<double>(kMicrosecond));
+}
+constexpr Time milliseconds(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Time seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_s(Time t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace rubin::sim

@@ -1,0 +1,43 @@
+// Move-only type-erased callable (std::move_only_function is C++23; this is
+// the 60-line C++20 subset we need). Event-queue entries capture coroutine
+// handles and moved-in state, so copyable std::function does not fit.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace rubin::sim {
+
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, UniqueFunction>)
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  void operator()() { impl_->call(); }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    void call() override { fn(); }
+    F fn;
+  };
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace rubin::sim

@@ -1,0 +1,142 @@
+#include "verbs/cm.hpp"
+
+#include <stdexcept>
+
+namespace rubin::verbs {
+
+const char* to_string(CmEventType t) noexcept {
+  switch (t) {
+    case CmEventType::kConnectRequest: return "connect-request";
+    case CmEventType::kEstablished: return "established";
+    case CmEventType::kRejected: return "rejected";
+    case CmEventType::kDisconnected: return "disconnected";
+  }
+  return "?";
+}
+
+void CmListener::accept(std::uint64_t conn_id, std::shared_ptr<QueuePair> qp) {
+  cm_->do_accept(conn_id, std::move(qp));
+}
+
+void CmListener::reject(std::uint64_t conn_id) { cm_->do_reject(conn_id); }
+
+std::shared_ptr<CmListener> ConnectionManager::listen(net::HostId host,
+                                                      std::uint16_t port,
+                                                      CmSink sink) {
+  const auto key = std::pair{host, port};
+  if (auto it = listeners_.find(key);
+      it != listeners_.end() && !it->second.expired()) {
+    throw std::invalid_argument("ConnectionManager::listen: port taken");
+  }
+  auto listener = std::shared_ptr<CmListener>(
+      new CmListener(*this, host, port, std::move(sink)));
+  listeners_[key] = listener;
+  return listener;
+}
+
+std::uint64_t ConnectionManager::connect(std::shared_ptr<QueuePair> qp,
+                                         net::HostId remote_host,
+                                         std::uint16_t port, CmSink sink) {
+  const std::uint64_t conn_id = next_conn_++;
+  const net::HostId src = qp->device().host();
+  conns_[conn_id] = Conn{std::move(qp), nullptr, std::move(sink), nullptr,
+                         false, false};
+
+  // REQ: announce the connection attempt at the rendezvous point.
+  control(src, remote_host, [this, conn_id, remote_host, port, src] {
+    auto& conn = conns_.at(conn_id);
+    const auto it = listeners_.find(std::pair{remote_host, port});
+    auto listener = it == listeners_.end() ? nullptr : it->second.lock();
+    if (listener == nullptr) {
+      control(remote_host, src, [this, conn_id, remote_host] {
+        auto& c = conns_.at(conn_id);
+        c.closed = true;
+        c.client_sink(CmEvent{CmEventType::kRejected, conn_id, remote_host});
+      });
+      return;
+    }
+    conn.listener = listener.get();
+    listener->sink_(CmEvent{CmEventType::kConnectRequest, conn_id, src});
+  });
+  return conn_id;
+}
+
+void ConnectionManager::do_accept(std::uint64_t conn_id,
+                                  std::shared_ptr<QueuePair> qp) {
+  auto& conn = conns_.at(conn_id);
+  if (conn.closed || conn.established) return;
+  conn.server_qp = std::move(qp);
+
+  // Wire the server QP to the client immediately …
+  conn.server_qp->connect(conn.client_qp->device(), conn.client_qp->qp_num());
+
+  const net::HostId server_host = conn.server_qp->device().host();
+  const net::HostId client_host = conn.client_qp->device().host();
+  // … then REP to the client, which wires its end and confirms with RTU.
+  control(server_host, client_host, [this, conn_id, server_host, client_host] {
+    auto& c = conns_.at(conn_id);
+    if (c.closed) return;
+    c.client_qp->connect(c.server_qp->device(), c.server_qp->qp_num());
+    c.established = true;
+    c.client_sink(CmEvent{CmEventType::kEstablished, conn_id, server_host});
+    control(client_host, server_host, [this, conn_id, client_host] {
+      auto& c2 = conns_.at(conn_id);
+      if (c2.closed || c2.listener == nullptr) return;
+      c2.listener->sink_(
+          CmEvent{CmEventType::kEstablished, conn_id, client_host});
+    });
+  });
+}
+
+void ConnectionManager::do_reject(std::uint64_t conn_id) {
+  auto& conn = conns_.at(conn_id);
+  if (conn.closed || conn.established) return;
+  conn.closed = true;
+  const net::HostId client_host = conn.client_qp->device().host();
+  const net::HostId server_host =
+      conn.listener != nullptr ? conn.listener->host() : client_host;
+  control(server_host, client_host, [this, conn_id, server_host] {
+    auto& c = conns_.at(conn_id);
+    c.client_sink(CmEvent{CmEventType::kRejected, conn_id, server_host});
+  });
+}
+
+void ConnectionManager::disconnect(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end() || it->second.closed) return;
+  Conn& conn = it->second;
+  conn.closed = true;
+  if (conn.client_qp) conn.client_qp->set_error();
+  if (conn.server_qp) conn.server_qp->set_error();
+  if (!conn.established) return;
+
+  // Tell both sides (the initiator finds out synchronously through its QP;
+  // the event makes teardown symmetric for selector-driven code).
+  const net::HostId client_host = conn.client_qp->device().host();
+  const net::HostId server_host = conn.server_qp->device().host();
+  control(client_host, server_host, [this, conn_id, client_host] {
+    auto& c = conns_.at(conn_id);
+    if (c.listener != nullptr) {
+      c.listener->sink_(
+          CmEvent{CmEventType::kDisconnected, conn_id, client_host});
+    }
+  });
+  control(server_host, client_host, [this, conn_id, server_host] {
+    auto& c = conns_.at(conn_id);
+    c.client_sink(CmEvent{CmEventType::kDisconnected, conn_id, server_host});
+  });
+}
+
+void ConnectionManager::control(net::HostId src, net::HostId dst,
+                                sim::UniqueFunction action) {
+  auto& sim = fabric_->simulator();
+  const sim::Time kernel = fabric_->cost().kernel_crossing;
+  // CM traffic traverses the kernel at both ends (rdma_cm is a kernel
+  // service); data-path verbs do not.
+  fabric_->transmit(src, dst, 64,
+                    [&sim, kernel, action = std::move(action)]() mutable {
+                      sim.schedule_after(kernel, std::move(action));
+                    });
+}
+
+}  // namespace rubin::verbs

@@ -1,0 +1,117 @@
+// Connection manager — the rdma_cm analogue.
+//
+// RDMA queue pairs do not "connect" like sockets: the two sides exchange
+// QP numbers out of band and transition their QPs to connected state. The
+// CM runs that rendezvous (REQ -> REP -> RTU over fabric control frames)
+// and surfaces it as events:
+//
+//   listener side:  kConnectRequest  (a peer wants in; paper: OP_CONNECT)
+//                   kEstablished     (handshake done;   paper: OP_ACCEPT)
+//   client side:    kEstablished / kRejected
+//   both sides:     kDisconnected
+//
+// Events go to a per-consumer sink function; RUBIN's event manager feeds
+// them into its hybrid event queue next to completion events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/fabric.hpp"
+#include "verbs/device.hpp"
+
+namespace rubin::verbs {
+
+enum class CmEventType : std::uint8_t {
+  kConnectRequest,
+  kEstablished,
+  kRejected,
+  kDisconnected,
+};
+
+const char* to_string(CmEventType t) noexcept;
+
+struct CmEvent {
+  CmEventType type = CmEventType::kConnectRequest;
+  /// CM-wide identifier of the connection this event concerns.
+  std::uint64_t conn_id = 0;
+  net::HostId peer_host = 0;
+};
+
+using CmSink = std::function<void(const CmEvent&)>;
+
+class ConnectionManager;
+
+/// Server-side rendezvous point bound to (host, port).
+class CmListener {
+ public:
+  net::HostId host() const noexcept { return host_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Completes a pending kConnectRequest with the QP the server allocated
+  /// for it (receives should be pre-posted before calling). kEstablished
+  /// is delivered to both sides when the handshake finishes.
+  void accept(std::uint64_t conn_id, std::shared_ptr<QueuePair> qp);
+
+  /// Declines a pending request; the client gets kRejected.
+  void reject(std::uint64_t conn_id);
+
+ private:
+  friend class ConnectionManager;
+  CmListener(ConnectionManager& cm, net::HostId host, std::uint16_t port,
+             CmSink sink)
+      : cm_(&cm), host_(host), port_(port), sink_(std::move(sink)) {}
+  ConnectionManager* cm_;
+  net::HostId host_;
+  std::uint16_t port_;
+  CmSink sink_;
+};
+
+class ConnectionManager {
+ public:
+  explicit ConnectionManager(net::Fabric& fabric) : fabric_(&fabric) {}
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  /// Binds a listener; `sink` receives its events. Throws if taken.
+  std::shared_ptr<CmListener> listen(net::HostId host, std::uint16_t port,
+                                     CmSink sink);
+
+  /// Starts a client-side connect of `qp` to (remote_host, port). Events
+  /// for this attempt arrive at `sink`. Returns the connection id.
+  std::uint64_t connect(std::shared_ptr<QueuePair> qp, net::HostId remote_host,
+                        std::uint16_t port, CmSink sink);
+
+  /// Tears a connection down: both QPs go to error, the peer gets
+  /// kDisconnected. Idempotent.
+  void disconnect(std::uint64_t conn_id);
+
+ private:
+  friend class CmListener;
+
+  struct Conn {
+    std::shared_ptr<QueuePair> client_qp;
+    std::shared_ptr<QueuePair> server_qp;  // set at accept()
+    CmSink client_sink;
+    CmListener* listener = nullptr;
+    bool established = false;
+    bool closed = false;
+  };
+
+  void do_accept(std::uint64_t conn_id, std::shared_ptr<QueuePair> qp);
+  void do_reject(std::uint64_t conn_id);
+  /// Control-plane message: a small frame + one kernel crossing at each
+  /// end (the CM mandatorily goes through the kernel, unlike the data
+  /// path).
+  void control(net::HostId src, net::HostId dst, sim::UniqueFunction action);
+
+  net::Fabric* fabric_;
+  std::map<std::pair<net::HostId, std::uint16_t>, std::weak_ptr<CmListener>>
+      listeners_;
+  std::map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace rubin::verbs

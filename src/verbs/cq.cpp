@@ -1,0 +1,30 @@
+#include "verbs/cq.hpp"
+
+namespace rubin::verbs {
+
+std::vector<Completion> CompletionQueue::poll(std::size_t max) {
+  std::vector<Completion> out;
+  out.reserve(std::min(max, ring_.size()));
+  while (out.size() < max) {
+    auto c = ring_.pop();
+    if (!c) break;
+    out.push_back(*c);
+  }
+  return out;
+}
+
+void CompletionQueue::push(const Completion& c) {
+  if (!ring_.push(c)) {
+    // Real hardware treats CQ overflow as a fatal async error; we latch a
+    // flag the tests can assert on and drop the entry.
+    overflowed_ = true;
+    return;
+  }
+  if (armed_ && channel_ != nullptr) {
+    armed_ = false;
+    // The completion event takes a kernel visit to surface on the fd.
+    sim_->schedule_after(event_cost_, [this] { channel_->deliver(this); });
+  }
+}
+
+}  // namespace rubin::verbs

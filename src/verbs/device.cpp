@@ -1,0 +1,498 @@
+#include "verbs/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rubin::verbs {
+
+const char* to_string(WcStatus s) noexcept {
+  switch (s) {
+    case WcStatus::kSuccess: return "success";
+    case WcStatus::kLocalProtectionError: return "local-protection-error";
+    case WcStatus::kRemoteAccessError: return "remote-access-error";
+    case WcStatus::kRecvBufferTooSmall: return "recv-buffer-too-small";
+    case WcStatus::kRnrRetryExceeded: return "rnr-retry-exceeded";
+    case WcStatus::kTransportRetryExceeded: return "transport-retry-exceeded";
+    case WcStatus::kRemoteOperationError: return "remote-operation-error";
+    case WcStatus::kWorkRequestFlushed: return "work-request-flushed";
+  }
+  return "?";
+}
+
+const char* to_string(PostResult r) noexcept {
+  switch (r) {
+    case PostResult::kOk: return "ok";
+    case PostResult::kQueueFull: return "queue-full";
+    case PostResult::kInvalidState: return "invalid-state";
+    case PostResult::kTooLarge: return "too-large";
+  }
+  return "?";
+}
+
+// -------------------------------------------------------------- Device ---
+
+Device::Device(net::Fabric& fabric, net::HostId host)
+    : fabric_(&fabric), host_(host) {}
+
+CompletionChannel* Device::create_channel() {
+  channels_.push_back(std::make_unique<CompletionChannel>(simulator()));
+  return channels_.back().get();
+}
+
+CompletionQueue* Device::create_cq(std::size_t capacity,
+                                   CompletionChannel* channel) {
+  cqs_.push_back(std::make_unique<CompletionQueue>(
+      simulator(), capacity, channel, cost().completion_event_cost));
+  return cqs_.back().get();
+}
+
+std::shared_ptr<QueuePair> Device::create_qp(ProtectionDomain& pd,
+                                             CompletionQueue& send_cq,
+                                             CompletionQueue& recv_cq,
+                                             QpConfig cfg) {
+  const std::uint32_t qpn = next_qpn_++;
+  auto qp = std::shared_ptr<QueuePair>(
+      new QueuePair(*this, pd, send_cq, recv_cq, qpn, cfg));
+  qps_[qpn] = qp;
+  return qp;
+}
+
+std::shared_ptr<QueuePair> Device::find_qp(std::uint32_t qpn) {
+  const auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : it->second.lock();
+}
+
+sim::Time Device::nic_admit(sim::Time ready, sim::Time work) {
+  const sim::Time start = std::max(ready, nic_free_);
+  nic_free_ = start + work;
+  return nic_free_;
+}
+
+// ----------------------------------------------------------- QueuePair ---
+
+QueuePair::QueuePair(Device& dev, ProtectionDomain& pd,
+                     CompletionQueue& send_cq, CompletionQueue& recv_cq,
+                     std::uint32_t qpn, QpConfig cfg)
+    : dev_(&dev),
+      pd_(&pd),
+      send_cq_(&send_cq),
+      recv_cq_(&recv_cq),
+      qpn_(qpn),
+      cfg_(cfg) {}
+
+void QueuePair::connect(Device& remote, std::uint32_t remote_qpn) {
+  remote_dev_ = &remote;
+  remote_qpn_ = remote_qpn;
+  if (state_ == QpState::kInit) state_ = QpState::kReadyToSend;
+}
+
+net::HostId QueuePair::remote_host() const noexcept {
+  return remote_dev_ != nullptr ? remote_dev_->host() : 0;
+}
+
+sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
+  auto& sim = dev_->simulator();
+  const auto& cm = dev_->cost();
+  co_await sim.sleep(cm.post_call_cpu);
+  if (state_ != QpState::kReadyToSend) co_return PostResult::kInvalidState;
+  if (wrs.size() > send_slots_free()) co_return PostResult::kQueueFull;
+  for (const SendWr& wr : wrs) {
+    if (wr.inline_data &&
+        (wr.sge.length > dev_->max_inline() || wr.sge.length > cfg_.max_inline)) {
+      co_return PostResult::kTooLarge;
+    }
+  }
+
+  // CPU: build each WQE; inline payloads are copied into the WQE now.
+  // Inline data needs no memory registration — the CPU reads the user
+  // buffer directly (IBV_SEND_INLINE ignores the lkey).
+  sim::Time cpu = static_cast<sim::Time>(wrs.size()) * cm.wqe_build_cpu;
+  std::vector<Bytes> inline_payloads(wrs.size());
+  for (std::size_t i = 0; i < wrs.size(); ++i) {
+    const SendWr& wr = wrs[i];
+    if (!wr.inline_data) continue;
+    cpu += cm.copy_time(wr.sge.length);
+    const auto* src = reinterpret_cast<const std::uint8_t*>(wr.sge.addr);
+    inline_payloads[i].assign(src, src + wr.sge.length);
+  }
+  co_await sim.sleep(cpu);
+
+  // NIC pipeline: the batch becomes visible one doorbell after the post.
+  sim::Time ready = sim.now() + cm.doorbell;
+  for (std::size_t i = 0; i < wrs.size(); ++i) {
+    const SendWr wr = wrs[i];
+    ++send_queue_used_;
+
+    const bool need_local_write = wr.opcode == Opcode::kRdmaRead;
+    if (!wr.inline_data &&
+        pd_->check_local(wr.sge, need_local_write) == nullptr) {
+      complete_send(wr.wr_id, wr.opcode, WcStatus::kLocalProtectionError,
+                    /*signaled=*/true);
+      break;
+    }
+    if (remote_dev_ == nullptr) {
+      complete_send(wr.wr_id, wr.opcode, WcStatus::kRemoteOperationError,
+                    /*signaled=*/true);
+      break;
+    }
+
+    // NIC work: fetch + process the WQE; read the payload over DMA unless
+    // it was inlined into the WQE.
+    if (wr.opcode == Opcode::kRdmaRead) {
+      pending_reads_[wr.wr_id] = PendingRead{wr.sge, wr.signaled};
+    }
+
+    const bool has_payload = wr.opcode != Opcode::kRdmaRead;
+    sim::Time nic_work = cm.wqe_processing;
+    if (has_payload && !wr.inline_data) {
+      // Non-inline: the NIC fetches the payload over PCIe.
+      nic_work += cm.dma_fetch_latency + cm.dma_time(wr.sge.length);
+    }
+    const sim::Time tx_ready = dev_->nic_admit(ready, nic_work);
+    ready = tx_ready;
+    ++dev_->messages_sent_;
+
+    // RC transport-retry watchdog: if this WR never completes (frames
+    // vanished into a partition), the QP breaks instead of hanging.
+    const std::uint64_t op = posted_ops_++;
+    if (cfg_.transport_retry_timeout_ns > 0) {
+      auto watchdog = weak_from_this();
+      sim.schedule_after(cfg_.transport_retry_timeout_ns, [watchdog, op] {
+        auto qp = watchdog.lock();
+        if (!qp || qp->state_ != QpState::kReadyToSend) return;
+        if (qp->completed_ops_ > op) return;  // completed in time
+        qp->complete_send(0, Opcode::kSend,
+                          WcStatus::kTransportRetryExceeded, true);
+      });
+    }
+
+    // Snapshot the payload when the NIC actually reads it (zero-copy
+    // semantics: mutating a registered send buffer before the WR
+    // completes is a data race, exactly as on hardware).
+    Bytes payload = std::move(inline_payloads[i]);
+    auto self = weak_from_this();
+    Device* rdev = remote_dev_;
+    const std::uint32_t rqpn = remote_qpn_;
+    sim.schedule_at(tx_ready, [this, self, wr, rdev, rqpn,
+                               payload = std::move(payload)]() mutable {
+      if (self.expired()) return;
+      if (!wr.inline_data && wr.opcode != Opcode::kRdmaRead) {
+        const MemoryRegion* m = pd_->check_local(wr.sge, false);
+        if (m == nullptr) {  // deregistered between post and DMA
+          complete_send(wr.wr_id, wr.opcode, WcStatus::kLocalProtectionError,
+                        true);
+          return;
+        }
+        payload.assign(m->data_at(wr.sge.addr),
+                       m->data_at(wr.sge.addr) + wr.sge.length);
+      }
+      const std::size_t wire_len =
+          wr.opcode == Opcode::kRdmaRead ? 28 : payload.size();
+      dev_->fabric().transmit(
+          dev_->host(), rdev->host(), wire_len,
+          [self, wr, rdev, rqpn, payload = std::move(payload)]() mutable {
+            auto sender = self.lock();
+            auto target = rdev->find_qp(rqpn);
+            if (target == nullptr || target->state_ == QpState::kError) {
+              if (sender) {
+                sender->complete_send(wr.wr_id, wr.opcode,
+                                      WcStatus::kRemoteOperationError, true);
+              }
+              return;
+            }
+            switch (wr.opcode) {
+              case Opcode::kSend:
+                target->on_send_arrival(InboundSend{
+                    std::move(payload), self, wr.wr_id, wr.signaled, 0, 0});
+                break;
+              case Opcode::kRdmaWrite:
+                target->on_write_arrival(wr.rkey, wr.remote_addr,
+                                         std::move(payload), self, wr.wr_id,
+                                         wr.signaled);
+                break;
+              case Opcode::kRdmaRead:
+                target->on_read_request(wr.remote_addr, wr.rkey, wr.sge.length,
+                                        self, wr.wr_id);
+                break;
+              case Opcode::kRecv:
+                break;  // unreachable: not a send opcode
+            }
+          });
+    });
+  }
+  co_return PostResult::kOk;
+}
+
+sim::Task<PostResult> QueuePair::post_send_one(SendWr wr) {
+  std::vector<SendWr> v{wr};
+  co_return co_await post_send(std::move(v));
+}
+
+sim::Task<PostResult> QueuePair::post_recv_one(RecvWr wr) {
+  std::vector<RecvWr> v{wr};
+  co_return co_await post_recv(std::move(v));
+}
+
+sim::Task<PostResult> QueuePair::post_recv(std::vector<RecvWr> wrs) {
+  auto& sim = dev_->simulator();
+  const auto& cm = dev_->cost();
+  co_await sim.sleep(cm.post_call_cpu +
+                     static_cast<sim::Time>(wrs.size()) * cm.wqe_build_cpu);
+  co_return post_recv_now(std::move(wrs));
+}
+
+PostResult QueuePair::post_recv_now(std::vector<RecvWr> wrs) {
+  if (state_ == QpState::kError) return PostResult::kInvalidState;
+  if (recv_queue_.size() + wrs.size() > cfg_.max_recv_wr) {
+    return PostResult::kQueueFull;
+  }
+  for (const RecvWr& wr : wrs) recv_queue_.push_back(wr);
+  drain_inbound();
+  return PostResult::kOk;
+}
+
+void QueuePair::set_error() {
+  if (state_ == QpState::kError) return;
+  state_ = QpState::kError;
+  // Flush posted receives.
+  while (!recv_queue_.empty()) {
+    const RecvWr wr = recv_queue_.front();
+    recv_queue_.pop_front();
+    complete_recv(Completion{wr.wr_id, Opcode::kRecv,
+                             WcStatus::kWorkRequestFlushed, 0, qpn_});
+  }
+  inbound_.clear();
+}
+
+void QueuePair::on_send_arrival(InboundSend in) {
+  in.first_arrival = dev_->simulator().now();
+  in.retries_left = cfg_.rnr_retries;
+  inbound_.push_back(std::move(in));
+  drain_inbound();
+  if (!inbound_.empty() && !rnr_timer_armed_) {
+    rnr_timer_armed_ = true;
+    auto self = weak_from_this();
+    dev_->simulator().schedule_after(cfg_.rnr_timeout_ns, [self] {
+      if (auto qp = self.lock()) qp->rnr_tick();
+    });
+  }
+}
+
+void QueuePair::drain_inbound() {
+  auto& sim = dev_->simulator();
+  const auto& cm = dev_->cost();
+  while (!inbound_.empty() && !recv_queue_.empty() &&
+         state_ != QpState::kError) {
+    InboundSend in = std::move(inbound_.front());
+    inbound_.pop_front();
+    const RecvWr rwr = recv_queue_.front();
+    recv_queue_.pop_front();
+
+    const MemoryRegion* mr = pd_->check_local(rwr.sge, /*need_write=*/true);
+    auto fail_both = [&](WcStatus recv_status, WcStatus send_status) {
+      complete_recv(Completion{rwr.wr_id, Opcode::kRecv, recv_status, 0, qpn_});
+      set_error();
+      if (auto sender = in.sender.lock()) {
+        sim.schedule_after(cm.ack_latency, [sender, in_wr = in.sender_wr_id,
+                                            send_status] {
+          sender->complete_send(in_wr, Opcode::kSend, send_status, true);
+        });
+      }
+    };
+    if (mr == nullptr) {
+      fail_both(WcStatus::kLocalProtectionError, WcStatus::kRemoteOperationError);
+      return;
+    }
+    if (in.payload.size() > rwr.sge.length) {
+      fail_both(WcStatus::kRecvBufferTooSmall, WcStatus::kRemoteOperationError);
+      return;
+    }
+
+    // DMA the payload into the receive buffer, then complete.
+    const std::uint32_t len = static_cast<std::uint32_t>(in.payload.size());
+    const sim::Time done = dev_->nic_admit(
+        sim.now(), cm.recv_match_cost + cm.dma_time(len));
+    std::uint8_t* dst = mr->data_at(rwr.sge.addr);
+    auto self = weak_from_this();
+    sim.schedule_at(
+        done, [self, dst, in = std::move(in), rwr, len, &cm, &sim]() mutable {
+          auto qp = self.lock();
+          if (!qp || qp->state_ == QpState::kError) return;
+          std::memcpy(dst, in.payload.data(), in.payload.size());
+          sim.schedule_after(cm.cqe_cost, [self, rwr, len] {
+            if (auto q = self.lock()) {
+              q->complete_recv(Completion{rwr.wr_id, Opcode::kRecv,
+                                          WcStatus::kSuccess, len, q->qpn_});
+            }
+          });
+          // RC ack completes the sender's WR.
+          sim.schedule_after(cm.ack_latency,
+                             [s = in.sender, wr_id = in.sender_wr_id,
+                              sig = in.sender_signaled] {
+                               if (auto q = s.lock()) {
+                                 q->complete_send(wr_id, Opcode::kSend,
+                                                  WcStatus::kSuccess, sig);
+                               }
+                             });
+        });
+  }
+}
+
+void QueuePair::rnr_tick() {
+  rnr_timer_armed_ = false;
+  drain_inbound();
+  if (inbound_.empty() || state_ == QpState::kError) return;
+  auto& sim = dev_->simulator();
+  const auto& cm = dev_->cost();
+  InboundSend& head = inbound_.front();
+  if (head.retries_left == 0) {
+    // Receiver never provisioned a buffer (paper §II-A: "it is important
+    // to allocate enough receive requests"). The connection breaks.
+    if (auto sender = head.sender.lock()) {
+      sim.schedule_after(cm.ack_latency, [sender, wr_id = head.sender_wr_id] {
+        sender->complete_send(wr_id, Opcode::kSend,
+                              WcStatus::kRnrRetryExceeded, true);
+      });
+    }
+    set_error();
+    return;
+  }
+  --head.retries_left;
+  rnr_timer_armed_ = true;
+  auto self = weak_from_this();
+  sim.schedule_after(cfg_.rnr_timeout_ns, [self] {
+    if (auto qp = self.lock()) qp->rnr_tick();
+  });
+}
+
+void QueuePair::on_write_arrival(std::uint32_t rkey, std::uint64_t remote_addr,
+                                 Bytes payload,
+                                 std::weak_ptr<QueuePair> sender,
+                                 std::uint64_t wr_id, bool signaled) {
+  auto& sim = dev_->simulator();
+  const auto& cm = dev_->cost();
+  const MemoryRegion* mr =
+      pd_->check_remote(rkey, remote_addr, payload.size(), kAccessRemoteWrite);
+  if (mr == nullptr) {
+    // NAK: the requester learns, the responder application never does —
+    // one of the one-sided security headaches from paper §III-C.
+    sim.schedule_after(cm.ack_latency, [sender, wr_id] {
+      if (auto q = sender.lock()) {
+        q->complete_send(wr_id, Opcode::kRdmaWrite,
+                         WcStatus::kRemoteAccessError, true);
+      }
+    });
+    return;
+  }
+  const sim::Time done =
+      dev_->nic_admit(sim.now(), cm.dma_time(payload.size()));
+  std::uint8_t* dst = mr->data_at(remote_addr);
+  sim.schedule_at(done, [dst, payload = std::move(payload), sender, wr_id,
+                         signaled, &sim, &cm]() mutable {
+    std::memcpy(dst, payload.data(), payload.size());
+    sim.schedule_after(cm.ack_latency, [sender, wr_id, signaled] {
+      if (auto q = sender.lock()) {
+        q->complete_send(wr_id, Opcode::kRdmaWrite, WcStatus::kSuccess,
+                         signaled);
+      }
+    });
+  });
+}
+
+void QueuePair::on_read_request(std::uint64_t remote_addr, std::uint32_t rkey,
+                                std::uint32_t length,
+                                std::weak_ptr<QueuePair> sender,
+                                std::uint64_t wr_id) {
+  auto& sim = dev_->simulator();
+  const auto& cm = dev_->cost();
+  const MemoryRegion* mr =
+      pd_->check_remote(rkey, remote_addr, length, kAccessRemoteRead);
+  if (mr == nullptr) {
+    sim.schedule_after(cm.ack_latency, [sender, wr_id] {
+      if (auto q = sender.lock()) {
+        q->complete_send(wr_id, Opcode::kRdmaRead,
+                         WcStatus::kRemoteAccessError, true);
+      }
+    });
+    return;
+  }
+  // Responder NIC: turnaround + DMA read of the data, then the payload
+  // travels back as a normal frame.
+  const sim::Time done =
+      dev_->nic_admit(sim.now(), cm.read_turnaround + cm.dma_time(length));
+  const std::uint8_t* src = mr->data_at(remote_addr);
+  Device* rdev = dev_;
+  sim.schedule_at(done, [src, length, sender, wr_id, rdev]() {
+    Bytes payload(src, src + length);
+    auto q = sender.lock();
+    if (q == nullptr) return;
+    rdev->fabric().transmit(
+        rdev->host(), q->device().host(), length,
+        [sender, wr_id, payload = std::move(payload)]() mutable {
+          auto qp = sender.lock();
+          if (qp == nullptr) return;
+          qp->complete_read_response(wr_id, std::move(payload));
+        });
+  });
+}
+
+void QueuePair::complete_read_response(std::uint64_t wr_id, Bytes payload) {
+  auto& sim = dev_->simulator();
+  const auto& cm = dev_->cost();
+  // Find the original WR's local SGE: we did not keep it — the payload
+  // lands wherever the WR said. We re-validate and copy via the pending
+  // read table.
+  const auto it = pending_reads_.find(wr_id);
+  if (it == pending_reads_.end()) return;
+  const PendingRead pr = it->second;
+  pending_reads_.erase(it);
+  const MemoryRegion* mr = pd_->check_local(pr.sge, /*need_write=*/true);
+  if (mr == nullptr || payload.size() > pr.sge.length) {
+    complete_send(wr_id, Opcode::kRdmaRead, WcStatus::kLocalProtectionError,
+                  true);
+    return;
+  }
+  const sim::Time done =
+      dev_->nic_admit(sim.now(), cm.dma_time(payload.size()));
+  std::uint8_t* dst = mr->data_at(pr.sge.addr);
+  auto self = weak_from_this();
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  sim.schedule_at(done, [self, dst, payload = std::move(payload), wr_id, len,
+                         sig = pr.signaled, &cm, &sim]() mutable {
+    std::memcpy(dst, payload.data(), payload.size());
+    sim.schedule_after(cm.cqe_cost, [self, wr_id, len, sig] {
+      if (auto q = self.lock()) {
+        q->complete_send(wr_id, Opcode::kRdmaRead, WcStatus::kSuccess, sig,
+                         len);
+      }
+    });
+  });
+}
+
+void QueuePair::complete_send(std::uint64_t wr_id, Opcode op, WcStatus status,
+                              bool signaled, std::uint32_t byte_len) {
+  ++completed_ops_;
+  reclaim_send_slot(signaled);
+  if (signaled) {
+    send_cq_->push(Completion{wr_id, op, status, byte_len, qpn_});
+  }
+  if (status != WcStatus::kSuccess) set_error();
+}
+
+void QueuePair::complete_recv(const Completion& c) { recv_cq_->push(c); }
+
+void QueuePair::reclaim_send_slot(bool signaled) {
+  if (!signaled) {
+    // Selective signaling: the slot is only reclaimed when the next
+    // signaled WR completes (hardware semantics — an all-unsignaled
+    // workload eventually fills the send queue).
+    ++unreclaimed_unsignaled_;
+    return;
+  }
+  const std::uint32_t reclaim =
+      std::min(send_queue_used_, 1 + unreclaimed_unsignaled_);
+  send_queue_used_ -= reclaim;
+  unreclaimed_unsignaled_ = 0;
+}
+
+}  // namespace rubin::verbs

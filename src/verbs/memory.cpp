@@ -1,0 +1,48 @@
+#include "verbs/memory.hpp"
+
+namespace rubin::verbs {
+
+MemoryRegion* ProtectionDomain::register_memory(MutByteView span,
+                                                std::uint32_t access) {
+  auto mr = std::unique_ptr<MemoryRegion>(new MemoryRegion());
+  mr->base_ = span.data();
+  mr->addr_ = reinterpret_cast<std::uint64_t>(span.data());
+  mr->length_ = span.size();
+  mr->access_ = access;
+  mr->lkey_ = next_key_++;
+  mr->rkey_ = next_key_++;
+  MemoryRegion* raw = mr.get();
+  by_rkey_[raw->rkey_] = raw;
+  by_lkey_[raw->lkey_] = std::move(mr);
+  return raw;
+}
+
+void ProtectionDomain::deregister(MemoryRegion* mr) {
+  if (mr == nullptr) return;
+  by_rkey_.erase(mr->rkey_);
+  by_lkey_.erase(mr->lkey_);  // frees the MR
+}
+
+const MemoryRegion* ProtectionDomain::check_local(const Sge& sge,
+                                                  bool need_write) const {
+  const auto it = by_lkey_.find(sge.lkey);
+  if (it == by_lkey_.end()) return nullptr;
+  const MemoryRegion& mr = *it->second;
+  if (!mr.contains(sge.addr, sge.length)) return nullptr;
+  if (need_write && (mr.access() & kAccessLocalWrite) == 0) return nullptr;
+  return &mr;
+}
+
+const MemoryRegion* ProtectionDomain::check_remote(std::uint32_t rkey,
+                                                   std::uint64_t addr,
+                                                   std::size_t len,
+                                                   std::uint32_t need) const {
+  const auto it = by_rkey_.find(rkey);
+  if (it == by_rkey_.end()) return nullptr;
+  const MemoryRegion& mr = *it->second;
+  if (!mr.contains(addr, len)) return nullptr;
+  if ((mr.access() & need) != need) return nullptr;
+  return &mr;
+}
+
+}  // namespace rubin::verbs

@@ -1,0 +1,113 @@
+// Core RDMA Verbs data types, mirroring libibverbs (ibv_sge, ibv_send_wr,
+// ibv_wc, …) closely enough that code written against this library reads
+// like an ibverbs program. This is the software RNIC the reproduction uses
+// in place of the paper's Mellanox MT27520 (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+namespace rubin::verbs {
+
+/// Memory-region access permissions (ibv_access_flags).
+enum Access : std::uint32_t {
+  kAccessLocalWrite = 1u << 0,   // NIC may DMA inbound data into the region
+  kAccessRemoteRead = 1u << 1,   // remote peers may RDMA READ
+  kAccessRemoteWrite = 1u << 2,  // remote peers may RDMA WRITE
+};
+
+/// Scatter/gather element: a slice of a registered memory region.
+/// `addr` is a host virtual address inside the MR (as in real verbs).
+struct Sge {
+  std::uint64_t addr = 0;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+};
+
+/// Work-request opcodes (subset of ibv_wr_opcode we need).
+enum class Opcode : std::uint8_t {
+  kSend,       // two-sided: consumes a receive WR at the responder
+  kRdmaWrite,  // one-sided write, responder CPU not involved
+  kRdmaRead,   // one-sided read
+  kRecv,       // appears only in completions
+};
+
+/// Send-queue work request (ibv_send_wr with a single SGE).
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  Sge sge;
+  /// Generate a CQE for this WR. Selective signaling (paper §IV) posts
+  /// most WRs unsignaled and signals every Nth to amortize completion
+  /// handling; the send queue slot is only reclaimed at the next signaled
+  /// completion, exactly like real hardware.
+  bool signaled = true;
+  /// Copy the payload into the WQE at post time (<= max_inline bytes):
+  /// the NIC skips the payload DMA read and the buffer is reusable
+  /// immediately after post_send returns.
+  bool inline_data = false;
+  /// Target for RDMA read/write.
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+};
+
+/// Receive-queue work request.
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  Sge sge;
+};
+
+/// Completion status (subset of ibv_wc_status).
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kLocalProtectionError,   // bad lkey / bounds / permissions at the poster
+  kRemoteAccessError,      // bad rkey / bounds / permissions at the responder
+  kRecvBufferTooSmall,     // inbound SEND larger than the posted receive
+  kRnrRetryExceeded,       // responder never posted a receive
+  kTransportRetryExceeded, // no ack within the retry budget (link dead?)
+  kRemoteOperationError,   // responder QP was broken / gone
+  kWorkRequestFlushed,     // QP went to error; outstanding WRs flushed
+};
+
+const char* to_string(WcStatus s) noexcept;
+
+/// Completion-queue entry (ibv_wc).
+struct Completion {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  WcStatus status = WcStatus::kSuccess;
+  std::uint32_t byte_len = 0;  // bytes received (recv/read completions)
+  std::uint32_t qp_num = 0;
+};
+
+/// Queue-pair capabilities (ibv_qp_cap).
+struct QpConfig {
+  std::uint32_t max_send_wr = 128;
+  std::uint32_t max_recv_wr = 128;
+  /// Per-device limit also applies; see Device::max_inline().
+  std::uint32_t max_inline = 256;
+  /// RNR behaviour: how long an inbound SEND may wait for a receive WR,
+  /// and how many times delivery is retried before the QP breaks.
+  std::int64_t rnr_timeout_ns = 100 * 1000;  // 100 us
+  std::uint32_t rnr_retries = 8;
+  /// RC transport retry budget: a posted WR that has not completed within
+  /// this time (frames lost — e.g. a network partition) moves the QP to
+  /// the error state, as real RC does when retry_cnt is exhausted.
+  /// 0 disables the timer. Must exceed the full RNR budget and any
+  /// legitimate queueing delay (deep windows of large messages wait
+  /// several ms for the wire). Real RC defaults are in the tens of ms.
+  std::int64_t transport_retry_timeout_ns = 50 * 1000 * 1000;  // 50 ms
+};
+
+enum class QpState : std::uint8_t { kInit, kReadyToSend, kError };
+
+/// Result of a post_send/post_recv call (ibv returns errno; we name them).
+enum class PostResult : std::uint8_t {
+  kOk,
+  kQueueFull,      // ENOMEM: no free WQE slots
+  kInvalidState,   // QP not connected / in error
+  kTooLarge,       // inline payload exceeds max_inline
+};
+
+const char* to_string(PostResult r) noexcept;
+
+}  // namespace rubin::verbs

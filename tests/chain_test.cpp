@@ -1,0 +1,149 @@
+// Tests for the blockchain layer: KV semantics, block sealing, hash-chain
+// integrity, determinism across instances, and end-to-end replication of
+// a chain through the BFT group.
+#include <gtest/gtest.h>
+
+#include "workloads/bft_harness.hpp"
+#include "chain/blockchain.hpp"
+
+namespace rubin::chain {
+namespace {
+
+using reptor::Backend;
+using sim::Task;
+
+Bytes run_op(Blockchain& bc, const std::string& op) {
+  return bc.execute(to_bytes(op));
+}
+
+// ------------------------------------------------------------------ kv ---
+
+TEST(Blockchain, PutGetDelSemantics) {
+  Blockchain bc;
+  EXPECT_EQ(to_string(run_op(bc, "put k hello world")), "ok");
+  EXPECT_EQ(to_string(run_op(bc, "get k")), "hello world");
+  EXPECT_EQ(bc.get("k"), "hello world");
+  EXPECT_EQ(to_string(run_op(bc, "del k")), "ok");
+  EXPECT_EQ(to_string(run_op(bc, "get k")), "<nil>");
+  EXPECT_EQ(to_string(run_op(bc, "del k")), "<nil>");
+  EXPECT_EQ(to_string(run_op(bc, "bogus x")), "err");
+}
+
+TEST(Blockchain, PutOverwrites) {
+  Blockchain bc;
+  run_op(bc, "put k v1");
+  run_op(bc, "put k v2");
+  EXPECT_EQ(bc.get("k"), "v2");
+  EXPECT_EQ(bc.kv_size(), 1u);
+}
+
+// --------------------------------------------------------------- blocks --
+
+TEST(Blockchain, SealsBlockEveryN) {
+  Blockchain bc(/*block_size=*/3);
+  for (int i = 0; i < 7; ++i) {
+    run_op(bc, "put k" + std::to_string(i) + " v");
+  }
+  EXPECT_EQ(bc.height(), 2u);  // 6 sealed, 1 pending
+  EXPECT_EQ(bc.executed(), 7u);
+  EXPECT_EQ(bc.blocks()[0].txs.size(), 3u);
+  EXPECT_EQ(bc.blocks()[1].txs.size(), 3u);
+}
+
+TEST(Blockchain, ChainLinksVerify) {
+  Blockchain bc(2);
+  for (int i = 0; i < 8; ++i) run_op(bc, "put k v" + std::to_string(i));
+  ASSERT_EQ(bc.height(), 4u);
+  EXPECT_TRUE(bc.verify_chain());
+  // Each block's prev points at the previous hash.
+  for (std::size_t i = 1; i < bc.blocks().size(); ++i) {
+    EXPECT_EQ(bc.blocks()[i].prev_hash, bc.blocks()[i - 1].hash);
+  }
+}
+
+TEST(Blockchain, TamperingIsDetected) {
+  Blockchain bc(2);
+  for (int i = 0; i < 6; ++i) run_op(bc, "put k v" + std::to_string(i));
+  ASSERT_TRUE(bc.verify_chain());
+  // "Any changes of the hash would be immediately noticed" (paper §I).
+  auto& blocks = const_cast<std::vector<Block>&>(bc.blocks());
+  blocks[1].txs[0].op = to_bytes("put k EVIL");
+  EXPECT_FALSE(bc.verify_chain());
+}
+
+TEST(Blockchain, DeterministicAcrossInstances) {
+  Blockchain a(4);
+  Blockchain b(4);
+  for (int i = 0; i < 10; ++i) {
+    const std::string op = "put key" + std::to_string(i % 3) + " value" +
+                           std::to_string(i);
+    EXPECT_EQ(run_op(a, op), run_op(b, op));
+  }
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(a.tip(), b.tip());
+}
+
+TEST(Blockchain, StateDigestCoversUnsealedTail) {
+  Blockchain a(100);  // nothing ever seals
+  Blockchain b(100);
+  run_op(a, "put k v");
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(Blockchain, TipIsGenesisBeforeFirstBlock) {
+  Blockchain a(5);
+  Blockchain b(5);
+  EXPECT_EQ(a.tip(), b.tip());
+  EXPECT_EQ(a.height(), 0u);
+  EXPECT_TRUE(a.verify_chain());
+}
+
+// ------------------------------------------------------------ replicated -
+
+class ChainBftTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ChainBftTest, ReplicatedChainConvergesOnAllReplicas) {
+  reptor::BftHarness h(GetParam(), 4, 1);
+  reptor::ReplicaConfig cfg;
+  cfg.batch_timeout = sim::microseconds(50);
+  for (reptor::NodeId r = 0; r < 4; ++r) {
+    cfg.self = r;
+    h.add_replica(r, cfg, std::make_unique<Blockchain>(2));
+  }
+  auto& client = h.add_client(4);
+  std::vector<std::string> results;
+  h.sim().spawn([](reptor::Client& c, std::vector<std::string>& out) -> Task<> {
+    co_await c.start();
+    out.push_back(to_string(co_await c.invoke(to_bytes("put alice 100"))));
+    out.push_back(to_string(co_await c.invoke(to_bytes("put bob 50"))));
+    out.push_back(to_string(co_await c.invoke(to_bytes("get alice"))));
+    out.push_back(to_string(co_await c.invoke(to_bytes("del bob"))));
+    out.push_back(to_string(co_await c.invoke(to_bytes("get bob"))));
+    out.push_back(to_string(co_await c.invoke(to_bytes("get alice"))));
+  }(client, results));
+  h.sim().run_until(sim::seconds(2));
+
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_EQ(results[2], "100");
+  EXPECT_EQ(results[4], "<nil>");
+  EXPECT_EQ(results[5], "100");
+
+  const auto& chain0 = dynamic_cast<const Blockchain&>(h.replica(0).app());
+  EXPECT_EQ(chain0.height(), 3u);  // 6 txs, block size 2
+  EXPECT_TRUE(chain0.verify_chain());
+  for (reptor::NodeId r = 1; r < 4; ++r) {
+    const auto& chain = dynamic_cast<const Blockchain&>(h.replica(r).app());
+    EXPECT_EQ(chain.tip(), chain0.tip()) << "replica " << r;
+    EXPECT_TRUE(chain.verify_chain());
+    EXPECT_EQ(chain.state_digest(), chain0.state_digest());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ChainBftTest,
+                         ::testing::Values(Backend::kNio, Backend::kRubin),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace rubin::chain

@@ -1,0 +1,215 @@
+// Unit tests for src/crypto: SHA-256 and HMAC-SHA-256 against published
+// vectors (FIPS 180-4 examples, RFC 4231), plus the PBFT authenticator
+// key table.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rubin {
+namespace {
+
+std::string sha256_hex(std::string_view msg) {
+  return to_hex(Sha256::hash(to_bytes(msg)));
+}
+
+// ------------------------------------------------------------- SHA-256 ---
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: forces the padding into a second block.
+  const std::string m(64, 'a');
+  EXPECT_EQ(sha256_hex(m),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes fits padding in one block; 56 does not — both boundary cases.
+  EXPECT_EQ(sha256_hex(std::string(55, 'a')),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(sha256_hex(std::string(56, 'a')),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk = to_bytes(std::string(1000, 'a'));
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const Bytes msg = patterned_bytes(10000, 42);
+  Sha256 h;
+  // Deliberately awkward chunking across block boundaries.
+  std::size_t off = 0;
+  std::size_t step = 1;
+  while (off < msg.size()) {
+    const std::size_t take = std::min(step, msg.size() - off);
+    h.update(ByteView(msg).subspan(off, take));
+    off += take;
+    step = step * 2 + 1;
+  }
+  EXPECT_EQ(h.finish(), Sha256::hash(msg));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(to_bytes("garbage"));
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DifferentInputsDifferentDigests) {
+  EXPECT_NE(Sha256::hash(to_bytes("a")), Sha256::hash(to_bytes("b")));
+}
+
+// ---------------------------------------------------------------- HMAC ---
+// Vectors from RFC 4231.
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Digest d = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(to_hex(d),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Digest d = hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(d),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  // Key longer than one block must be hashed down first.
+  const Bytes key(131, 0xaa);
+  const Digest d = hmac_sha256(
+      key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(d),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Rfc4231Case7LongKeyAndData) {
+  const Bytes key(131, 0xaa);
+  const Digest d = hmac_sha256(
+      key,
+      to_bytes("This is a test using a larger than block-size key and a "
+               "larger than block-size data. The key needs to be hashed "
+               "before being used by the HMAC algorithm."));
+  EXPECT_EQ(to_hex(d),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Hmac, TruncatedMacIsPrefix) {
+  const Bytes key = to_bytes("k");
+  const Bytes msg = to_bytes("m");
+  const Digest full = hmac_sha256(key, msg);
+  const Mac mac = truncated_mac(key, msg);
+  EXPECT_TRUE(std::equal(mac.begin(), mac.end(), full.begin()));
+}
+
+// ------------------------------------------------------------ KeyTable ---
+
+TEST(KeyTable, PairwiseKeysAreSymmetric) {
+  const Bytes secret = to_bytes("group-secret");
+  KeyTable a(0, 4, secret);
+  KeyTable b(1, 4, secret);
+  EXPECT_EQ(to_hex(a.key_for(1)), to_hex(b.key_for(0)));
+  EXPECT_NE(to_hex(a.key_for(1)), to_hex(a.key_for(2)));
+}
+
+TEST(KeyTable, MacVerifiesAcrossNodes) {
+  const Bytes secret = to_bytes("s");
+  KeyTable sender(2, 4, secret);
+  KeyTable receiver(3, 4, secret);
+  const Bytes msg = to_bytes("PRE-PREPARE v=0 n=1");
+  const Mac mac = sender.mac_for(3, msg);
+  EXPECT_TRUE(receiver.verify_from(2, msg, mac));
+}
+
+TEST(KeyTable, TamperedMessageFailsVerification) {
+  const Bytes secret = to_bytes("s");
+  KeyTable sender(0, 4, secret);
+  KeyTable receiver(1, 4, secret);
+  const Mac mac = sender.mac_for(1, to_bytes("original"));
+  EXPECT_FALSE(receiver.verify_from(0, to_bytes("tampered"), mac));
+}
+
+TEST(KeyTable, WrongClaimedSenderFailsVerification) {
+  const Bytes secret = to_bytes("s");
+  KeyTable sender(0, 4, secret);
+  KeyTable receiver(2, 4, secret);
+  const Bytes msg = to_bytes("m");
+  const Mac mac = sender.mac_for(2, msg);
+  // Receiver checks the MAC as if it came from node 1 — must fail.
+  EXPECT_FALSE(receiver.verify_from(1, msg, mac));
+}
+
+TEST(KeyTable, AuthenticatorHasOneMacPerMember) {
+  KeyTable kt(1, 4, to_bytes("s"));
+  const auto auth = kt.authenticator(to_bytes("m"));
+  ASSERT_EQ(auth.size(), 4u);
+  // Each receiver's slot verifies with its own key table.
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    KeyTable other(j, 4, to_bytes("s"));
+    EXPECT_TRUE(other.verify_from(1, to_bytes("m"), auth[j])) << "slot " << j;
+  }
+}
+
+TEST(KeyTable, ByzantineSenderCanForgePartialAuthenticator) {
+  // The attack PBFT's view-change machinery must tolerate: a faulty sender
+  // puts a valid MAC for replica 2 and garbage for replica 3.
+  KeyTable faulty(0, 4, to_bytes("s"));
+  auto auth = faulty.authenticator(to_bytes("m"));
+  auth[3] = Mac{};  // garbage slot
+  KeyTable r2(2, 4, to_bytes("s"));
+  KeyTable r3(3, 4, to_bytes("s"));
+  EXPECT_TRUE(r2.verify_from(0, to_bytes("m"), auth[2]));
+  EXPECT_FALSE(r3.verify_from(0, to_bytes("m"), auth[3]));
+}
+
+TEST(KeyTable, SelfIndexOutOfRangeThrows) {
+  EXPECT_THROW(KeyTable(4, 4, to_bytes("s")), std::invalid_argument);
+}
+
+TEST(KeyTable, PeerOutOfRangeThrows) {
+  KeyTable kt(0, 4, to_bytes("s"));
+  EXPECT_THROW(kt.key_for(4), std::out_of_range);
+}
+
+TEST(KeyTable, DifferentGroupSecretsDiverge) {
+  KeyTable a(0, 4, to_bytes("alpha"));
+  KeyTable b(0, 4, to_bytes("beta"));
+  EXPECT_NE(to_hex(a.key_for(1)), to_hex(b.key_for(1)));
+}
+
+}  // namespace
+}  // namespace rubin

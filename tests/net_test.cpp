@@ -1,0 +1,162 @@
+// Unit tests for the simulated fabric and its cost model: serialization,
+// propagation, egress queuing, fault injection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace rubin::net {
+namespace {
+
+using sim::Time;
+
+class FabricTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  CostModel cm = CostModel::roce_10g();
+  Fabric fabric{sim, cm, 4};
+};
+
+TEST_F(FabricTest, DeliversAfterSerializationPlusPropagation) {
+  Time delivered_at = -1;
+  const std::size_t payload = 1000;
+  fabric.transmit(0, 1, payload, [&] { delivered_at = sim.now(); });
+  sim.run();
+  const std::size_t wire = payload + cm.frame_overhead_bytes;
+  EXPECT_EQ(delivered_at, cm.wire_serialization(wire) + cm.propagation);
+}
+
+TEST_F(FabricTest, TenGbpsSerializationRate) {
+  // 10 Gbps = 0.8 ns per byte: 10 KB serializes in 8 us.
+  EXPECT_EQ(cm.wire_serialization(10'000), 8 * sim::kMicrosecond);
+}
+
+TEST_F(FabricTest, LargePayloadPaysPerSegmentOverhead) {
+  Time t_small = -1;
+  Time t_large = -1;
+  {
+    sim::Simulator s1;
+    Fabric f1{s1, cm, 2};
+    f1.transmit(0, 1, 100, [&] { t_small = s1.now(); });
+    s1.run();
+  }
+  {
+    sim::Simulator s2;
+    Fabric f2{s2, cm, 2};
+    f2.transmit(0, 1, 100'000, [&] { t_large = s2.now(); });
+    s2.run();
+  }
+  // 100 KB = 67 segments, each with frame overhead.
+  const std::size_t wire = 100'000 + cm.segments(100'000) * cm.frame_overhead_bytes;
+  EXPECT_EQ(t_large, cm.wire_serialization(wire) + cm.propagation);
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST_F(FabricTest, EgressPortSerializesBackToBackFrames) {
+  std::vector<Time> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    fabric.transmit(0, 1, 1000, [&] { arrivals.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  const Time ser = cm.wire_serialization(1000 + cm.frame_overhead_bytes);
+  EXPECT_EQ(arrivals[0], ser + cm.propagation);
+  EXPECT_EQ(arrivals[1], 2 * ser + cm.propagation);
+  EXPECT_EQ(arrivals[2], 3 * ser + cm.propagation);
+}
+
+TEST_F(FabricTest, DistinctSourcesDoNotShareEgress) {
+  std::vector<Time> arrivals;
+  fabric.transmit(0, 2, 1000, [&] { arrivals.push_back(sim.now()); });
+  fabric.transmit(1, 2, 1000, [&] { arrivals.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], arrivals[1]);  // full-duplex switch, no contention
+}
+
+TEST_F(FabricTest, PartitionBlocksBothDirections) {
+  fabric.set_partitioned(0, 1, true);
+  int delivered = 0;
+  fabric.transmit(0, 1, 10, [&] { ++delivered; });
+  fabric.transmit(1, 0, 10, [&] { ++delivered; });
+  fabric.transmit(0, 2, 10, [&] { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 1);  // only the 0->2 frame
+  EXPECT_EQ(fabric.frames_dropped(), 2u);
+}
+
+TEST_F(FabricTest, PartitionCanBeHealed) {
+  fabric.set_partitioned(0, 1, true);
+  fabric.set_partitioned(0, 1, false);
+  int delivered = 0;
+  fabric.transmit(0, 1, 10, [&] { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(FabricTest, DropRateDropsApproximatelyThatFraction) {
+  fabric.set_drop_rate(0.5);
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    fabric.transmit(0, 1, 10, [&] { ++delivered; });
+  }
+  sim.run();
+  EXPECT_GT(delivered, 350);
+  EXPECT_LT(delivered, 650);
+  EXPECT_EQ(fabric.frames_dropped() + static_cast<std::uint64_t>(delivered), 1000u);
+}
+
+TEST_F(FabricTest, ExtraDelayAddsToArrival) {
+  Time plain = -1;
+  Time delayed = -1;
+  fabric.set_extra_delay(2, 3, sim::microseconds(50));
+  fabric.transmit(0, 1, 100, [&] { plain = sim.now(); });
+  fabric.transmit(2, 3, 100, [&] { delayed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(delayed - plain, sim::microseconds(50));
+}
+
+TEST_F(FabricTest, InvalidHostThrows) {
+  EXPECT_THROW(fabric.transmit(0, 99, 10, [] {}), std::out_of_range);
+  EXPECT_THROW(fabric.transmit(99, 0, 10, [] {}), std::out_of_range);
+}
+
+TEST_F(FabricTest, StatsCountFramesAndBytes) {
+  fabric.transmit(0, 1, 1000, [] {});
+  fabric.transmit(1, 0, 2000, [] {});
+  sim.run();
+  EXPECT_EQ(fabric.frames_delivered(), 2u);
+  // 1000 B = 1 segment, 2000 B = 2 segments: 3 headers total.
+  EXPECT_EQ(fabric.bytes_on_wire(), 3000u + 3 * cm.frame_overhead_bytes);
+}
+
+TEST(CostModel, CopyCheaperThanWireForBigMessagesButNotFree) {
+  const CostModel cm = CostModel::roce_10g();
+  // The Frey/Alonso observation: copies are a significant fraction of the
+  // end-to-end path. At 100 KB a copy must cost at least 15% of the wire
+  // time for the paper's TCP-vs-RDMA gaps to appear.
+  const double copy_us = sim::to_us(cm.copy_time(100'000));
+  const double wire_us = sim::to_us(cm.wire_serialization(100'000));
+  EXPECT_GT(copy_us, 0.15 * wire_us);
+  EXPECT_LT(copy_us, wire_us);
+}
+
+TEST(CostModel, SegmentsRoundUp) {
+  const CostModel cm = CostModel::roce_10g();
+  EXPECT_EQ(cm.segments(0), 1u);
+  EXPECT_EQ(cm.segments(1), 1u);
+  EXPECT_EQ(cm.segments(1500), 1u);
+  EXPECT_EQ(cm.segments(1501), 2u);
+  EXPECT_EQ(cm.segments(100'000), 67u);
+}
+
+TEST(CostModel, DmaFasterThanKernelCopy) {
+  const CostModel cm = CostModel::roce_10g();
+  EXPECT_LT(cm.dma_time(65536), cm.copy_time(65536));
+}
+
+}  // namespace
+}  // namespace rubin::net

@@ -1,0 +1,302 @@
+// Property-style tests: randomized inputs (seeded, deterministic) checked
+// against invariants or reference models, parameterized over seeds with
+// TEST_P so each seed is an individually reported case.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "chain/blockchain.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "crypto/sha256.hpp"
+#include "net/fabric.hpp"
+#include "reptor/messages.hpp"
+#include "sim/simulator.hpp"
+#include "verbs/device.hpp"
+
+namespace rubin {
+namespace {
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng{GetParam()};
+};
+
+// ----------------------------------------------------------- sha256 ------
+
+using Sha256Chunking = Seeded;
+
+TEST_P(Sha256Chunking, ArbitrarySplitsMatchOneShot) {
+  const std::size_t len = 1 + rng.next_below(20000);
+  const Bytes msg = patterned_bytes(len, GetParam());
+  const Digest expect = Sha256::hash(msg);
+
+  Sha256 h;
+  std::size_t off = 0;
+  while (off < len) {
+    const std::size_t take = 1 + rng.next_below(len - off);
+    h.update(ByteView(msg).subspan(off, take));
+    off += take;
+  }
+  EXPECT_EQ(h.finish(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sha256Chunking,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------------------ codec ------
+
+using CodecFuzz = Seeded;
+
+TEST_P(CodecFuzz, RandomGarbageNeverCrashesAndNeverVerifies) {
+  const KeyTable keys(0, 5, to_bytes("k"));
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t len = rng.next_below(300);
+    Bytes junk(len);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    // Must neither crash nor read out of bounds; verification must fail
+    // (a random MAC collision is 2^-64 — not happening in 200 tries).
+    EXPECT_FALSE(reptor::decode_verified(junk, keys).has_value());
+  }
+}
+
+TEST_P(CodecFuzz, AnySingleBitFlipIsRejected) {
+  const KeyTable sender(1, 5, to_bytes("k"));
+  const KeyTable receiver(2, 5, to_bytes("k"));
+  reptor::PrePrepare pp;
+  pp.view = 3;
+  pp.seq = 17;
+  pp.batch.push_back(reptor::Request{4, 9, patterned_bytes(50, 7)});
+  pp.digest = reptor::batch_digest(pp.batch);
+  const Bytes frame = reptor::encode_for_replicas(
+      reptor::Envelope{1, reptor::Message{pp}}, sender, 5);
+
+  for (int i = 0; i < 100; ++i) {
+    Bytes mutated = frame;
+    const std::size_t bit = rng.next_below(frame.size() * 8);
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto env = reptor::decode_verified(mutated, receiver);
+    // Flips in receiver 2's MAC slot or anywhere in the body must fail;
+    // flips in *other* receivers' MAC slots do not concern us.
+    const std::size_t macs_off = frame.size() - 5 * sizeof(Mac);
+    const bool in_foreign_mac =
+        bit / 8 >= macs_off && (bit / 8 - macs_off) / sizeof(Mac) != 2;
+    if (!in_foreign_mac) {
+      EXPECT_FALSE(env.has_value()) << "bit " << bit;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(11, 22, 33, 44));
+
+// -------------------------------------------------------- ring buffer ----
+
+using RingModel = Seeded;
+
+TEST_P(RingModel, MatchesDequeReference) {
+  RingBuffer<std::uint64_t> ring(1 + rng.next_below(16));
+  std::deque<std::uint64_t> model;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.chance(0.55)) {
+      const std::uint64_t v = rng.next();
+      const bool pushed = ring.push(v);
+      EXPECT_EQ(pushed, model.size() < ring.capacity());
+      if (pushed) model.push_back(v);
+    } else {
+      const auto got = ring.pop();
+      if (model.empty()) {
+        EXPECT_EQ(got, std::nullopt);
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, model.front());
+        model.pop_front();
+      }
+    }
+    EXPECT_EQ(ring.size(), model.size());
+    EXPECT_EQ(ring.empty(), model.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingModel, ::testing::Values(7, 77, 777));
+
+// ------------------------------------------------------------- stats -----
+
+using PercentileModel = Seeded;
+
+TEST_P(PercentileModel, MatchesSortedReference) {
+  LatencyRecorder rec;
+  std::vector<double> ref;
+  const int n = 1 + static_cast<int>(rng.next_below(500));
+  for (int i = 0; i < n; ++i) {
+    const double v = static_cast<double>(rng.next_below(100000)) / 7.0;
+    rec.add(v);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+  EXPECT_DOUBLE_EQ(rec.min(), ref.front());
+  EXPECT_DOUBLE_EQ(rec.max(), ref.back());
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+    const double rank = q * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    const double expect =
+        ref[lo] * (1 - frac) + ref[std::min<std::size_t>(lo + 1, ref.size() - 1)] * frac;
+    EXPECT_NEAR(rec.percentile(q), expect, 1e-9) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileModel, ::testing::Values(5, 50, 500));
+
+// --------------------------------------------------------- simulator -----
+
+using SimDeterminism = Seeded;
+
+TEST_P(SimDeterminism, RandomTimerSoupIsReproducible) {
+  auto run_once = [&](std::uint64_t seed) {
+    Rng r(seed);
+    sim::Simulator sim;
+    std::vector<std::pair<sim::Time, int>> trace;
+    for (int i = 0; i < 300; ++i) {
+      const sim::Time t = static_cast<sim::Time>(r.next_below(100000));
+      sim.schedule_at(t, [&trace, &sim, i] { trace.emplace_back(sim.now(), i); });
+    }
+    sim.run();
+    return trace;
+  };
+  const auto a = run_once(GetParam());
+  const auto b = run_once(GetParam());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a, b);
+  // And globally time-ordered, FIFO among equal timestamps.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].first, a[i].first);
+    if (a[i - 1].first == a[i].first) EXPECT_LT(a[i - 1].second, a[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimDeterminism, ::testing::Values(9, 99, 999));
+
+// -------------------------------------------------------------- verbs ----
+
+using VerbsSoak = Seeded;
+
+TEST_P(VerbsSoak, RandomTrafficKeepsInvariants) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, net::CostModel::roce_10g(), 2);
+  verbs::Device dev_a(fabric, 0);
+  verbs::Device dev_b(fabric, 1);
+  verbs::ProtectionDomain pd_a;
+  verbs::ProtectionDomain pd_b;
+  auto* scq_a = dev_a.create_cq(4096);
+  auto* rcq_a = dev_a.create_cq(4096);
+  auto* scq_b = dev_b.create_cq(4096);
+  auto* rcq_b = dev_b.create_cq(4096);
+  auto qp_a = dev_a.create_qp(pd_a, *scq_a, *rcq_a);
+  auto qp_b = dev_b.create_qp(pd_b, *scq_b, *rcq_b);
+  qp_a->connect(dev_b, qp_b->qp_num());
+  qp_b->connect(dev_a, qp_a->qp_num());
+
+  constexpr std::size_t kSlot = 4096;
+  Bytes buf_a(64 * kSlot);
+  Bytes buf_b(64 * kSlot);
+  auto* mr_a = pd_a.register_memory(buf_a, verbs::kAccessLocalWrite);
+  auto* mr_b = pd_b.register_memory(buf_b, verbs::kAccessLocalWrite);
+
+  struct Ctx {
+    Rng& rng;
+    sim::Simulator& sim;
+    std::shared_ptr<verbs::QueuePair> qp_a;
+    std::shared_ptr<verbs::QueuePair> qp_b;
+    verbs::MemoryRegion* mr_a;
+    verbs::MemoryRegion* mr_b;
+    int sends_ok = 0;
+  };
+  Ctx ctx{rng, sim, qp_a, qp_b, mr_a, mr_b};
+
+  sim.spawn([](Ctx& c) -> sim::Task<> {
+    // Receiver pre-posts everything.
+    std::vector<verbs::RecvWr> recvs;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      recvs.push_back(verbs::RecvWr{
+          i, verbs::Sge{c.mr_b->addr() + i * kSlot, kSlot, c.mr_b->lkey()}});
+    }
+    (void)co_await c.qp_b->post_recv(std::move(recvs));
+
+    for (int i = 0; i < 300; ++i) {
+      verbs::SendWr wr;
+      wr.wr_id = static_cast<std::uint64_t>(i);
+      const std::uint32_t len =
+          1 + static_cast<std::uint32_t>(c.rng.next_below(kSlot));
+      wr.sge = verbs::Sge{c.mr_a->addr(), len, c.mr_a->lkey()};
+      wr.signaled = c.rng.chance(0.3);
+      wr.inline_data = len <= 256 && c.rng.chance(0.5);
+      const auto r = co_await c.qp_a->post_send_one(wr);
+      if (r == verbs::PostResult::kOk) ++c.sends_ok;
+      // Invariants after every operation.
+      EXPECT_LE(c.qp_a->send_slots_free(), c.qp_a->config().max_send_wr);
+      if (c.rng.chance(0.2)) {
+        co_await c.sim.sleep(sim::microseconds(c.rng.next_below(50)));
+      }
+      if (c.rng.chance(0.1)) {
+        // Receiver recycles: drain recv CQ and repost.
+        // (Separate coroutine would race the single-consumer mailbox;
+        // polling here is fine — CQs are plain queues.)
+      }
+    }
+  }(ctx));
+  sim.run_until(sim::seconds(5));
+
+  // Every accepted send eventually completes exactly once at the receiver
+  // (up to the 64 pre-posted receives; RNR holds the rest in order until
+  // the budget expires, possibly erroring the QP afterwards).
+  std::size_t recv_completions = 0;
+  for (const auto& wc : rcq_b->poll(4096)) {
+    if (wc.status == verbs::WcStatus::kSuccess) ++recv_completions;
+  }
+  EXPECT_LE(recv_completions, static_cast<std::size_t>(ctx.sends_ok));
+  EXPECT_GT(recv_completions, 0u);
+  EXPECT_FALSE(rcq_b->overflowed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerbsSoak, ::testing::Values(3, 13, 23));
+
+// ---------------------------------------------------------- blockchain ---
+
+using ChainProperty = Seeded;
+
+TEST_P(ChainProperty, RandomOpsDeterministicAndVerifiable) {
+  chain::Blockchain a(1 + rng.next_below(6));
+  Rng rng2(GetParam());  // identical stream for the twin
+  chain::Blockchain b(1 + rng2.next_below(6));
+
+  Rng ops_a(GetParam() * 7);
+  Rng ops_b(GetParam() * 7);
+  auto random_op = [](Rng& r) {
+    const std::string key = "k" + std::to_string(r.next_below(10));
+    switch (r.next_below(3)) {
+      case 0: return "put " + key + " v" + std::to_string(r.next_below(100));
+      case 1: return "get " + key;
+      default: return "del " + key;
+    }
+  };
+  for (int i = 0; i < 400; ++i) {
+    const auto op_a = random_op(ops_a);
+    const auto op_b = random_op(ops_b);
+    ASSERT_EQ(op_a, op_b);
+    EXPECT_EQ(a.execute(to_bytes(op_a)), b.execute(to_bytes(op_b)));
+  }
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_TRUE(a.verify_chain());
+
+  // Snapshot round trip preserves everything, at any point.
+  chain::Blockchain c(1);
+  ASSERT_TRUE(c.restore(a.snapshot(), a.state_digest()));
+  EXPECT_EQ(c.state_digest(), a.state_digest());
+  EXPECT_TRUE(c.verify_chain());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainProperty, ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace rubin

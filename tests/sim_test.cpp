@@ -1,0 +1,346 @@
+// Unit tests for the coroutine discrete-event simulator: clock behaviour,
+// event ordering, task composition, Event and Mailbox primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace rubin::sim {
+namespace {
+
+// ------------------------------------------------------------ scheduler --
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, CallbackFiresAtScheduledTime) {
+  Simulator sim;
+  Time fired_at = -1;
+  sim.schedule_after(microseconds(5), [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, microseconds(5));
+  EXPECT_EQ(sim.now(), microseconds(5));
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(300, [&] { order.push_back(3); });
+  sim.schedule_after(100, [&] { order.push_back(1); });
+  sim.schedule_after(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameInstantFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule_after(100, [&] {
+    sim.schedule_after(-50, [&] { EXPECT_EQ(sim.now(), 100); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, CancelPreventsCallback) {
+  Simulator sim;
+  bool fired = false;
+  const TimerId id = sim.schedule_after(10, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelOneOfMany) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(1, [&] { order.push_back(1); });
+  const TimerId id = sim.schedule_after(2, [&] { order.push_back(2); });
+  sim.schedule_after(3, [&] { order.push_back(3); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<Time> fired;
+  for (Time t : {100, 200, 300, 400}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(250);
+  EXPECT_EQ(fired, (std::vector<Time>{100, 200}));
+  EXPECT_EQ(sim.now(), 250);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<Time>{100, 200, 300, 400}));
+}
+
+TEST(Simulator, RunUntilIncludesExactDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(250, [&] { fired = true; });
+  sim.run_until(250);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(5000);
+  EXPECT_EQ(sim.now(), 5000);
+}
+
+TEST(Simulator, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.post([] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, CallbacksCanScheduleMoreWork) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(10, [&chain] { chain(); });
+  };
+  sim.schedule_after(10, [&chain] { chain(); });
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+// ----------------------------------------------------------- coroutines --
+
+TEST(SimTask, SleepAdvancesVirtualTime) {
+  Simulator sim;
+  Time woke_at = -1;
+  sim.spawn([](Simulator& s, Time& out) -> Task<> {
+    co_await s.sleep(microseconds(3));
+    out = s.now();
+  }(sim, woke_at));
+  sim.run();
+  EXPECT_EQ(woke_at, microseconds(3));
+  EXPECT_EQ(sim.live_roots(), 0u);
+}
+
+TEST(SimTask, NestedAwaitReturnsValue) {
+  Simulator sim;
+  int result = 0;
+
+  struct Helper {
+    static Task<int> add_later(Simulator& s, int a, int b) {
+      co_await s.sleep(10);
+      co_return a + b;
+    }
+    static Task<> root(Simulator& s, int& out) {
+      out = co_await add_later(s, 2, 3);
+    }
+  };
+  sim.spawn(Helper::root(sim, result));
+  sim.run();
+  EXPECT_EQ(result, 5);
+}
+
+TEST(SimTask, ExceptionPropagatesToAwaiter) {
+  Simulator sim;
+  bool caught = false;
+
+  struct Helper {
+    static Task<int> boom(Simulator& s) {
+      co_await s.sleep(1);
+      throw std::runtime_error("boom");
+    }
+    static Task<> root(Simulator& s, bool& caught) {
+      try {
+        (void)co_await boom(s);
+      } catch (const std::runtime_error&) {
+        caught = true;
+      }
+    }
+  };
+  sim.spawn(Helper::root(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(SimTask, SpawnOrderIsStartOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  auto mk = [&](int id) -> Task<> {
+    order.push_back(id);
+    co_return;
+  };
+  sim.spawn(mk(1));
+  sim.spawn(mk(2));
+  sim.spawn(mk(3));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimTask, ManyInterleavedSleepers) {
+  Simulator sim;
+  std::vector<std::pair<Time, int>> wakeups;
+  for (int i = 0; i < 20; ++i) {
+    sim.spawn([](Simulator& s, int id, std::vector<std::pair<Time, int>>& out) -> Task<> {
+      for (int k = 0; k < 5; ++k) {
+        co_await s.sleep(10 * (id + 1));
+        out.emplace_back(s.now(), id);
+      }
+    }(sim, i, wakeups));
+  }
+  sim.run();
+  ASSERT_EQ(wakeups.size(), 100u);
+  // Wakeups must be globally time-ordered.
+  for (std::size_t i = 1; i < wakeups.size(); ++i) {
+    EXPECT_LE(wakeups[i - 1].first, wakeups[i].first);
+  }
+  EXPECT_EQ(sim.live_roots(), 0u);
+}
+
+// ---------------------------------------------------------------- Event --
+
+TEST(SimEvent, WaitCompletesAfterSet) {
+  Simulator sim;
+  Event ev(sim);
+  Time woke_at = -1;
+  sim.spawn([](Simulator& s, Event& e, Time& out) -> Task<> {
+    co_await e.wait();
+    out = s.now();
+  }(sim, ev, woke_at));
+  sim.schedule_after(500, [&] { ev.set(); });
+  sim.run();
+  EXPECT_EQ(woke_at, 500);
+}
+
+TEST(SimEvent, AlreadySetCompletesImmediately) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  bool done = false;
+  sim.spawn([](Event& e, bool& out) -> Task<> {
+    co_await e.wait();
+    out = true;
+  }(ev, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimEvent, BroadcastWakesAllWaiters) {
+  Simulator sim;
+  Event ev(sim);
+  int woken = 0;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn([](Event& e, int& count) -> Task<> {
+      co_await e.wait();
+      ++count;
+    }(ev, woken));
+  }
+  sim.schedule_after(100, [&] { ev.set(); });
+  sim.run();
+  EXPECT_EQ(woken, 8);
+}
+
+TEST(SimEvent, ResetBlocksFutureWaiters) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  ev.reset();
+  bool done = false;
+  sim.spawn([](Event& e, bool& out) -> Task<> {
+    co_await e.wait();
+    out = true;
+  }(ev, done));
+  sim.run();
+  EXPECT_FALSE(done);  // never set again; waiter still parked
+  EXPECT_EQ(sim.live_roots(), 1u);
+  ev.set();
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+// -------------------------------------------------------------- Mailbox --
+
+TEST(SimMailbox, PushThenRecv) {
+  Simulator sim;
+  Mailbox<int> mb(sim);
+  mb.push(41);
+  int got = 0;
+  sim.spawn([](Mailbox<int>& m, int& out) -> Task<> {
+    out = co_await m.recv();
+  }(mb, got));
+  sim.run();
+  EXPECT_EQ(got, 41);
+}
+
+TEST(SimMailbox, RecvBlocksUntilPush) {
+  Simulator sim;
+  Mailbox<std::string> mb(sim);
+  std::string got;
+  Time when = -1;
+  sim.spawn([](Simulator& s, Mailbox<std::string>& m, std::string& out, Time& t) -> Task<> {
+    out = co_await m.recv();
+    t = s.now();
+  }(sim, mb, got, when));
+  sim.schedule_after(700, [&] { mb.push("late"); });
+  sim.run();
+  EXPECT_EQ(got, "late");
+  EXPECT_EQ(when, 700);
+}
+
+TEST(SimMailbox, PreservesFifoAcrossAwaits) {
+  Simulator sim;
+  Mailbox<int> mb(sim);
+  std::vector<int> got;
+  sim.spawn([](Mailbox<int>& m, std::vector<int>& out) -> Task<> {
+    for (int i = 0; i < 5; ++i) out.push_back(co_await m.recv());
+  }(mb, got));
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_after(10 * (i + 1), [&mb, i] { mb.push(i); });
+  }
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimMailbox, TryPopNonBlocking) {
+  Simulator sim;
+  Mailbox<int> mb(sim);
+  EXPECT_EQ(mb.try_pop(), std::nullopt);
+  mb.push(9);
+  EXPECT_EQ(mb.try_pop(), 9);
+  EXPECT_EQ(mb.try_pop(), std::nullopt);
+}
+
+TEST(SimMailbox, BurstThenDrain) {
+  Simulator sim;
+  Mailbox<int> mb(sim);
+  for (int i = 0; i < 100; ++i) mb.push(i);
+  std::vector<int> got;
+  sim.spawn([](Mailbox<int>& m, std::vector<int>& out) -> Task<> {
+    for (int i = 0; i < 100; ++i) out.push_back(co_await m.recv());
+  }(mb, got));
+  sim.run();
+  ASSERT_EQ(got.size(), 100u);
+  EXPECT_EQ(got.front(), 0);
+  EXPECT_EQ(got.back(), 99);
+}
+
+}  // namespace
+}  // namespace rubin::sim

@@ -1,0 +1,251 @@
+// Transport-layer tests (below PBFT, above sockets/channels),
+// parameterized over both backends: mesh bring-up, framing, ordering,
+// broadcast, batching, and the shared stack-cost accounting.
+#include <gtest/gtest.h>
+
+#include "workloads/bft_harness.hpp"
+
+namespace rubin::reptor {
+namespace {
+
+using sim::Task;
+
+class TransportTest : public ::testing::TestWithParam<Backend> {
+ public:
+  struct BringUp {
+    int started = 0;
+    bool done = false;
+  };
+
+  /// Runs `body(transports)` after all transports started. A node whose
+  /// own start() is already finished must keep polling while the rest of
+  /// the mesh dials in (the CM delivers connect requests through poll —
+  /// exactly how the replica main loop behaves in production), so each
+  /// start is followed by a pump loop until the whole mesh is up. The
+  /// pumping also drains the identification hellos.
+  template <typename Body>
+  void with_mesh(std::uint32_t replicas, std::uint32_t clients, Body body) {
+    BftHarness h(GetParam(), replicas, clients);
+    std::vector<std::unique_ptr<Transport>> ts;
+    for (std::uint32_t i = 0; i < replicas + clients; ++i) {
+      ts.push_back(h.make_transport(i));
+    }
+    BringUp ctl;
+    for (auto& t : ts) {
+      h.sim().spawn([](Transport& t, BringUp& ctl) -> Task<> {
+        co_await t.start();
+        ++ctl.started;
+        while (!ctl.done) {
+          (void)co_await t.poll(sim::microseconds(100));
+        }
+      }(*t, ctl));
+    }
+    while (ctl.started < static_cast<int>(ts.size())) {
+      h.sim().run_until(h.sim().now() + sim::milliseconds(1));
+      ASSERT_LT(h.sim().now(), sim::seconds(5)) << "mesh bring-up stalled";
+    }
+    ctl.done = true;  // pumps exit on their next poll return
+    h.sim().run_until(h.sim().now() + sim::milliseconds(2));
+    body(h, ts);
+  }
+};
+
+TEST_P(TransportTest, MeshBringUpConnectsEveryPair) {
+  with_mesh(4, 2, [](BftHarness& h, auto& ts) {
+    for (NodeId r = 0; r < 4; ++r) {
+      for (NodeId o = 0; o < 6; ++o) {
+        if (o == r) continue;
+        if (o < 4 || ts[o]->layout().is_replica(o) == false) {
+          // replica <-> replica and client -> replica links exist.
+          if (o < 4) {
+            EXPECT_TRUE(ts[r]->connected(o) || ts[o]->connected(r))
+                << r << "<->" << o;
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST_P(TransportTest, FrameRoundTripBothDirections) {
+  with_mesh(2, 0, [](BftHarness& h, auto& ts) {
+    const Bytes ping = patterned_bytes(300, 1);
+    const Bytes pong = patterned_bytes(700, 2);
+    bool ok0 = false;
+    bool ok1 = false;
+    h.sim().spawn([](Transport& t, const Bytes& ping, const Bytes& pong,
+                     bool& ok) -> Task<> {
+      t.send(1, Bytes(ping));
+      for (;;) {
+        const auto msgs = co_await t.poll(sim::milliseconds(5));
+        for (const auto& m : msgs) {
+          if (m.peer == 1 && m.frame == pong) {
+            ok = true;
+            co_return;
+          }
+        }
+        if (msgs.empty()) co_return;
+      }
+    }(*ts[0], ping, pong, ok0));
+    h.sim().spawn([](Transport& t, const Bytes& ping, const Bytes& pong,
+                     bool& ok) -> Task<> {
+      for (;;) {
+        const auto msgs = co_await t.poll(sim::milliseconds(5));
+        for (const auto& m : msgs) {
+          if (m.peer == 0 && m.frame == ping) {
+            ok = true;
+            t.send(0, Bytes(pong));
+            (void)co_await t.poll(0);  // flush
+            co_return;
+          }
+        }
+        if (msgs.empty()) co_return;
+      }
+    }(*ts[1], ping, pong, ok1));
+    h.sim().run_until(h.sim().now() + sim::milliseconds(20));
+    EXPECT_TRUE(ok0);
+    EXPECT_TRUE(ok1);
+  });
+}
+
+TEST_P(TransportTest, BroadcastReachesEveryOtherReplica) {
+  with_mesh(4, 0, [](BftHarness& h, auto& ts) {
+    const Bytes frame = patterned_bytes(512, 9);
+    ts[0]->broadcast_replicas(frame);
+    std::array<int, 4> got{};
+    for (NodeId r = 1; r < 4; ++r) {
+      h.sim().spawn([](Transport& t, const Bytes& frame, int& got) -> Task<> {
+        const auto msgs = co_await t.poll(sim::milliseconds(5));
+        for (const auto& m : msgs) {
+          if (m.peer == 0 && m.frame == frame) ++got;
+        }
+      }(*ts[r], frame, got[r]));
+    }
+    // Sender flush.
+    h.sim().spawn([](Transport& t) -> Task<> {
+      (void)co_await t.poll(0);
+    }(*ts[0]));
+    h.sim().run_until(h.sim().now() + sim::milliseconds(20));
+    EXPECT_EQ(got[1], 1);
+    EXPECT_EQ(got[2], 1);
+    EXPECT_EQ(got[3], 1);
+    EXPECT_EQ(ts[0]->stats().frames_sent, 3u);
+  });
+}
+
+TEST_P(TransportTest, LargeAndTinyFramesKeepBoundariesAndOrder) {
+  with_mesh(2, 0, [](BftHarness& h, auto& ts) {
+    std::vector<std::size_t> sizes{1, 90'000, 17, 64'000, 5, 100'000};
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      ts[0]->send(1, patterned_bytes(sizes[i], i));
+    }
+    std::vector<std::size_t> got;
+    bool intact = true;
+    h.sim().spawn([](sim::Simulator& s, Transport& t,
+                     std::vector<std::size_t>& got, bool& intact,
+                     std::size_t expect) -> Task<> {
+      // Stream transports may wake mid-frame (readable bytes but no
+      // complete frame yet), so an empty poll is not the end — only the
+      // deadline is.
+      const sim::Time deadline = s.now() + sim::milliseconds(40);
+      while (got.size() < expect && s.now() < deadline) {
+        const auto msgs = co_await t.poll(sim::milliseconds(1));
+        for (const auto& m : msgs) {
+          intact = intact && check_pattern(m.frame, got.size());
+          got.push_back(m.frame.size());
+        }
+      }
+    }(h.sim(), *ts[1], got, intact, sizes.size()));
+    h.sim().spawn([](Transport& t) -> Task<> {
+      for (int i = 0; i < 40; ++i) (void)co_await t.poll(sim::microseconds(100));
+    }(*ts[0]));
+    h.sim().run_until(h.sim().now() + sim::milliseconds(50));
+    EXPECT_EQ(got, sizes);
+    EXPECT_TRUE(intact);
+  });
+}
+
+TEST_P(TransportTest, PollTimeoutOnIdleMesh) {
+  with_mesh(2, 0, [](BftHarness& h, auto& ts) {
+    bool empty = false;
+    sim::Time waited = 0;
+    h.sim().spawn([](sim::Simulator& s, Transport& t, bool& empty,
+                     sim::Time& waited) -> Task<> {
+      const sim::Time t0 = s.now();
+      const auto msgs = co_await t.poll(sim::microseconds(300));
+      empty = msgs.empty();
+      waited = s.now() - t0;
+    }(h.sim(), *ts[0], empty, waited));
+    h.sim().run_until(h.sim().now() + sim::milliseconds(5));
+    EXPECT_TRUE(empty);
+    EXPECT_GE(waited, sim::microseconds(300));
+  });
+}
+
+TEST_P(TransportTest, BatchingAmortizesFlushes) {
+  with_mesh(2, 0, [](BftHarness& h, auto& ts) {
+    for (int i = 0; i < 20; ++i) ts[0]->send(1, patterned_bytes(256, i));
+    h.sim().spawn([](Transport& t) -> Task<> {
+      for (int i = 0; i < 10; ++i) (void)co_await t.poll(sim::microseconds(100));
+    }(*ts[0]));
+    int received = 0;
+    h.sim().spawn([](Transport& t, int& received) -> Task<> {
+      while (received < 20) {
+        const auto msgs = co_await t.poll(sim::milliseconds(5));
+        if (msgs.empty()) co_return;
+        received += static_cast<int>(msgs.size());
+      }
+    }(*ts[1], received));
+    h.sim().run_until(h.sim().now() + sim::milliseconds(30));
+    EXPECT_EQ(received, 20);
+    // 20 queued frames must not cost 20 separate flush batches.
+    EXPECT_LT(ts[0]->stats().flush_batches, 20u);
+    EXPECT_EQ(ts[0]->stats().frames_sent, 20u);
+  });
+}
+
+TEST_P(TransportTest, StackCostSlowsTheStack) {
+  auto run_with = [&](sim::Time per_msg) {
+    sim::Time elapsed = 0;
+    with_mesh(2, 0, [&](BftHarness& h, auto& ts) {
+      StackCost sc;
+      sc.per_message = per_msg;
+      ts[0]->set_stack_cost(sc);
+      ts[1]->set_stack_cost(sc);
+      for (int i = 0; i < 10; ++i) ts[0]->send(1, patterned_bytes(128, i));
+      int received = 0;
+      const sim::Time t0 = h.sim().now();
+      h.sim().spawn([](Transport& t) -> Task<> {
+        for (int i = 0; i < 5; ++i) (void)co_await t.poll(sim::microseconds(100));
+      }(*ts[0]));
+      sim::Time done_at = 0;
+      h.sim().spawn([](sim::Simulator& s, Transport& t, int& received,
+                       sim::Time& done_at) -> Task<> {
+        while (received < 10) {
+          const auto msgs = co_await t.poll(sim::milliseconds(5));
+          if (msgs.empty()) co_return;
+          received += static_cast<int>(msgs.size());
+        }
+        done_at = s.now();
+      }(h.sim(), *ts[1], received, done_at));
+      h.sim().run_until(h.sim().now() + sim::milliseconds(50));
+      EXPECT_EQ(received, 10);
+      elapsed = done_at - t0;
+    });
+    return elapsed;
+  };
+  const sim::Time cheap = run_with(0);
+  const sim::Time costly = run_with(sim::microseconds(10));
+  // 10 messages x 10 us per stage; tx and rx stages pipeline across the
+  // two hosts, so the end-to-end delta is roughly one stage's worth.
+  EXPECT_GT(costly, cheap + sim::microseconds(90));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportTest,
+                         ::testing::Values(Backend::kNio, Backend::kRubin),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace rubin::reptor
