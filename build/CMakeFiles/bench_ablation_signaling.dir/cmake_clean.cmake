@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_signaling.dir/bench/bench_ablation_signaling.cpp.o"
+  "CMakeFiles/bench_ablation_signaling.dir/bench/bench_ablation_signaling.cpp.o.d"
+  "bench/bench_ablation_signaling"
+  "bench/bench_ablation_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

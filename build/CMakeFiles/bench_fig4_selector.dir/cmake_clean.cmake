@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_selector.dir/bench/bench_fig4_selector.cpp.o"
+  "CMakeFiles/bench_fig4_selector.dir/bench/bench_fig4_selector.cpp.o.d"
+  "bench/bench_fig4_selector"
+  "bench/bench_fig4_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

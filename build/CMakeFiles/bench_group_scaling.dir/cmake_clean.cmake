@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_scaling.dir/bench/bench_group_scaling.cpp.o"
+  "CMakeFiles/bench_group_scaling.dir/bench/bench_group_scaling.cpp.o.d"
+  "bench/bench_group_scaling"
+  "bench/bench_group_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simkernel.dir/bench/bench_simkernel.cpp.o"
+  "CMakeFiles/bench_simkernel.dir/bench/bench_simkernel.cpp.o.d"
+  "bench/bench_simkernel"
+  "bench/bench_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/rubin_chain.dir/blockchain.cpp.o.d"
+  "librubin_chain.a"
+  "librubin_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

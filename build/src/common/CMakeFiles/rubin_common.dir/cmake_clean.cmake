@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_common.dir/bytes.cpp.o"
+  "CMakeFiles/rubin_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/rubin_common.dir/codec.cpp.o"
+  "CMakeFiles/rubin_common.dir/codec.cpp.o.d"
+  "CMakeFiles/rubin_common.dir/log.cpp.o"
+  "CMakeFiles/rubin_common.dir/log.cpp.o.d"
+  "CMakeFiles/rubin_common.dir/stats.cpp.o"
+  "CMakeFiles/rubin_common.dir/stats.cpp.o.d"
+  "librubin_common.a"
+  "librubin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/rubin_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/rubin_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/rubin_crypto.dir/sha256.cpp.o.d"
+  "librubin_crypto.a"
+  "librubin_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

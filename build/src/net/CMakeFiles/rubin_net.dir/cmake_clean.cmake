@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_net.dir/fabric.cpp.o"
+  "CMakeFiles/rubin_net.dir/fabric.cpp.o.d"
+  "librubin_net.a"
+  "librubin_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

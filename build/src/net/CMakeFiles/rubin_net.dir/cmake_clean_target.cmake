@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librubin_net.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reptor/client.cpp" "src/reptor/CMakeFiles/rubin_reptor.dir/client.cpp.o" "gcc" "src/reptor/CMakeFiles/rubin_reptor.dir/client.cpp.o.d"
+  "/root/repo/src/reptor/echo_stack.cpp" "src/reptor/CMakeFiles/rubin_reptor.dir/echo_stack.cpp.o" "gcc" "src/reptor/CMakeFiles/rubin_reptor.dir/echo_stack.cpp.o.d"
+  "/root/repo/src/reptor/messages.cpp" "src/reptor/CMakeFiles/rubin_reptor.dir/messages.cpp.o" "gcc" "src/reptor/CMakeFiles/rubin_reptor.dir/messages.cpp.o.d"
+  "/root/repo/src/reptor/replica.cpp" "src/reptor/CMakeFiles/rubin_reptor.dir/replica.cpp.o" "gcc" "src/reptor/CMakeFiles/rubin_reptor.dir/replica.cpp.o.d"
+  "/root/repo/src/reptor/transport_nio.cpp" "src/reptor/CMakeFiles/rubin_reptor.dir/transport_nio.cpp.o" "gcc" "src/reptor/CMakeFiles/rubin_reptor.dir/transport_nio.cpp.o.d"
+  "/root/repo/src/reptor/transport_rubin.cpp" "src/reptor/CMakeFiles/rubin_reptor.dir/transport_rubin.cpp.o" "gcc" "src/reptor/CMakeFiles/rubin_reptor.dir/transport_rubin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rubin/CMakeFiles/rubin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpsim/CMakeFiles/rubin_tcpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rubin_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/rubin_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rubin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rubin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_reptor.dir/client.cpp.o"
+  "CMakeFiles/rubin_reptor.dir/client.cpp.o.d"
+  "CMakeFiles/rubin_reptor.dir/echo_stack.cpp.o"
+  "CMakeFiles/rubin_reptor.dir/echo_stack.cpp.o.d"
+  "CMakeFiles/rubin_reptor.dir/messages.cpp.o"
+  "CMakeFiles/rubin_reptor.dir/messages.cpp.o.d"
+  "CMakeFiles/rubin_reptor.dir/replica.cpp.o"
+  "CMakeFiles/rubin_reptor.dir/replica.cpp.o.d"
+  "CMakeFiles/rubin_reptor.dir/transport_nio.cpp.o"
+  "CMakeFiles/rubin_reptor.dir/transport_nio.cpp.o.d"
+  "CMakeFiles/rubin_reptor.dir/transport_rubin.cpp.o"
+  "CMakeFiles/rubin_reptor.dir/transport_rubin.cpp.o.d"
+  "librubin_reptor.a"
+  "librubin_reptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_reptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rubin_reptor.
+# This may be replaced when dependencies are built.

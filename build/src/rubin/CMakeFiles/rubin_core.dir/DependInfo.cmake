@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rubin/buffer_pool.cpp" "src/rubin/CMakeFiles/rubin_core.dir/buffer_pool.cpp.o" "gcc" "src/rubin/CMakeFiles/rubin_core.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/rubin/channel.cpp" "src/rubin/CMakeFiles/rubin_core.dir/channel.cpp.o" "gcc" "src/rubin/CMakeFiles/rubin_core.dir/channel.cpp.o.d"
+  "/root/repo/src/rubin/selector.cpp" "src/rubin/CMakeFiles/rubin_core.dir/selector.cpp.o" "gcc" "src/rubin/CMakeFiles/rubin_core.dir/selector.cpp.o.d"
+  "/root/repo/src/rubin/write_channel.cpp" "src/rubin/CMakeFiles/rubin_core.dir/write_channel.cpp.o" "gcc" "src/rubin/CMakeFiles/rubin_core.dir/write_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verbs/CMakeFiles/rubin_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rubin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rubin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

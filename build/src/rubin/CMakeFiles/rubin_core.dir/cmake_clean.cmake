@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_core.dir/buffer_pool.cpp.o"
+  "CMakeFiles/rubin_core.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/rubin_core.dir/channel.cpp.o"
+  "CMakeFiles/rubin_core.dir/channel.cpp.o.d"
+  "CMakeFiles/rubin_core.dir/selector.cpp.o"
+  "CMakeFiles/rubin_core.dir/selector.cpp.o.d"
+  "CMakeFiles/rubin_core.dir/write_channel.cpp.o"
+  "CMakeFiles/rubin_core.dir/write_channel.cpp.o.d"
+  "librubin_core.a"
+  "librubin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rubin_sim.dir/simulator.cpp.o.d"
+  "librubin_sim.a"
+  "librubin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

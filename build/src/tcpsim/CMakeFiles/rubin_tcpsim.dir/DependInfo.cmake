@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcpsim/poller.cpp" "src/tcpsim/CMakeFiles/rubin_tcpsim.dir/poller.cpp.o" "gcc" "src/tcpsim/CMakeFiles/rubin_tcpsim.dir/poller.cpp.o.d"
+  "/root/repo/src/tcpsim/tcp.cpp" "src/tcpsim/CMakeFiles/rubin_tcpsim.dir/tcp.cpp.o" "gcc" "src/tcpsim/CMakeFiles/rubin_tcpsim.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rubin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rubin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

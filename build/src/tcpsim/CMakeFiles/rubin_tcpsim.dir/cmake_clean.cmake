@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_tcpsim.dir/poller.cpp.o"
+  "CMakeFiles/rubin_tcpsim.dir/poller.cpp.o.d"
+  "CMakeFiles/rubin_tcpsim.dir/tcp.cpp.o"
+  "CMakeFiles/rubin_tcpsim.dir/tcp.cpp.o.d"
+  "librubin_tcpsim.a"
+  "librubin_tcpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_tcpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

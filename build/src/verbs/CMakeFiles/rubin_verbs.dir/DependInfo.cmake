@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verbs/cm.cpp" "src/verbs/CMakeFiles/rubin_verbs.dir/cm.cpp.o" "gcc" "src/verbs/CMakeFiles/rubin_verbs.dir/cm.cpp.o.d"
+  "/root/repo/src/verbs/cq.cpp" "src/verbs/CMakeFiles/rubin_verbs.dir/cq.cpp.o" "gcc" "src/verbs/CMakeFiles/rubin_verbs.dir/cq.cpp.o.d"
+  "/root/repo/src/verbs/device.cpp" "src/verbs/CMakeFiles/rubin_verbs.dir/device.cpp.o" "gcc" "src/verbs/CMakeFiles/rubin_verbs.dir/device.cpp.o.d"
+  "/root/repo/src/verbs/memory.cpp" "src/verbs/CMakeFiles/rubin_verbs.dir/memory.cpp.o" "gcc" "src/verbs/CMakeFiles/rubin_verbs.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rubin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rubin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

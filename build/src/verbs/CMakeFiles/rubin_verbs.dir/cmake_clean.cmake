@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_verbs.dir/cm.cpp.o"
+  "CMakeFiles/rubin_verbs.dir/cm.cpp.o.d"
+  "CMakeFiles/rubin_verbs.dir/cq.cpp.o"
+  "CMakeFiles/rubin_verbs.dir/cq.cpp.o.d"
+  "CMakeFiles/rubin_verbs.dir/device.cpp.o"
+  "CMakeFiles/rubin_verbs.dir/device.cpp.o.d"
+  "CMakeFiles/rubin_verbs.dir/memory.cpp.o"
+  "CMakeFiles/rubin_verbs.dir/memory.cpp.o.d"
+  "librubin_verbs.a"
+  "librubin_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

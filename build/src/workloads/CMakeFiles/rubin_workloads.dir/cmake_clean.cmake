@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_workloads.dir/echo_kit.cpp.o"
+  "CMakeFiles/rubin_workloads.dir/echo_kit.cpp.o.d"
+  "librubin_workloads.a"
+  "librubin_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_only_test.dir/read_only_test.cpp.o"
+  "CMakeFiles/read_only_test.dir/read_only_test.cpp.o.d"
+  "read_only_test"
+  "read_only_test.pdb"
+  "read_only_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_only_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

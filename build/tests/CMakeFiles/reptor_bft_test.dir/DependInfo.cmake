@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reptor_bft_test.cpp" "tests/CMakeFiles/reptor_bft_test.dir/reptor_bft_test.cpp.o" "gcc" "tests/CMakeFiles/reptor_bft_test.dir/reptor_bft_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reptor/CMakeFiles/rubin_reptor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rubin/CMakeFiles/rubin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/rubin_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpsim/CMakeFiles/rubin_tcpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rubin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rubin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rubin_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

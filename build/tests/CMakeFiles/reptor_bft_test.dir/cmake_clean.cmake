@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reptor_bft_test.dir/reptor_bft_test.cpp.o"
+  "CMakeFiles/reptor_bft_test.dir/reptor_bft_test.cpp.o.d"
+  "reptor_bft_test"
+  "reptor_bft_test.pdb"
+  "reptor_bft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reptor_bft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

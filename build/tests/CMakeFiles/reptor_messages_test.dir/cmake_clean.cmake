@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reptor_messages_test.dir/reptor_messages_test.cpp.o"
+  "CMakeFiles/reptor_messages_test.dir/reptor_messages_test.cpp.o.d"
+  "reptor_messages_test"
+  "reptor_messages_test.pdb"
+  "reptor_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reptor_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

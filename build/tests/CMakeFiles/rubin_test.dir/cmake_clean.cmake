@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubin_test.dir/rubin_test.cpp.o"
+  "CMakeFiles/rubin_test.dir/rubin_test.cpp.o.d"
+  "rubin_test"
+  "rubin_test.pdb"
+  "rubin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

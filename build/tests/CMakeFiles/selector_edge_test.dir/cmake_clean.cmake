@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_edge_test.dir/selector_edge_test.cpp.o"
+  "CMakeFiles/selector_edge_test.dir/selector_edge_test.cpp.o.d"
+  "selector_edge_test"
+  "selector_edge_test.pdb"
+  "selector_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

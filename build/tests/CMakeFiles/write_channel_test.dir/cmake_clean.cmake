@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_channel_test.dir/write_channel_test.cpp.o"
+  "CMakeFiles/write_channel_test.dir/write_channel_test.cpp.o.d"
+  "write_channel_test"
+  "write_channel_test.pdb"
+  "write_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/tcpsim_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/rubin_test[1]_include.cmake")
+include("/root/repo/build/tests/reptor_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/reptor_bft_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/state_transfer_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/write_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/read_only_test[1]_include.cmake")
+include("/root/repo/build/tests/selector_edge_test[1]_include.cmake")
