@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Static lint pass for the RUBIN stack: clang-tidy (when installed) plus
+# repo-specific greps that encode house rules no generic tool checks.
+#
+# Usage: scripts/check.sh [build-dir]
+#   build-dir: a configured CMake build tree with compile_commands.json
+#              (default: ./build). Needed only for the clang-tidy half.
+#
+# Exit status is non-zero when any check fails. The `lint` CMake target
+# runs this script; CI runs it as its own job.
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+FAILURES=0
+
+note() { printf '== %s\n' "$*"; }
+fail() {
+  printf 'check.sh: FAIL: %s\n' "$*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# --- 1. clang-tidy over src/ -------------------------------------------------
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f "${BUILD_DIR}/compile_commands.json" ]; then
+    note "clang-tidy ($(clang-tidy --version | head -n1))"
+    # Sources only; headers are pulled in via HeaderFilterRegex.
+    if ! find src -name '*.cpp' -print0 |
+      xargs -0 clang-tidy -p "${BUILD_DIR}" --quiet; then
+      fail "clang-tidy reported findings"
+    fi
+  else
+    fail "no ${BUILD_DIR}/compile_commands.json — configure with CMake first"
+  fi
+else
+  note "clang-tidy not installed — skipping (grep checks still run)"
+fi
+
+# --- 2. repo-specific greps --------------------------------------------------
+
+# Naked new: allocation results must land in a smart pointer on the same
+# line (the private-constructor std::shared_ptr<T>(new T(...)) idiom) or
+# on the line directly after one. Raw owning pointers do not survive
+# review in this codebase.
+note "grep: naked new"
+NAKED_NEW=$(grep -rn --include='*.cpp' --include='*.hpp' -E '\bnew [A-Za-z_]' src |
+  grep -vE '_ptr<|//|"' |
+  while IFS=: read -r file line rest; do
+    prev=$(sed -n "$((line - 1))p" "$file")
+    case "$prev" in
+    *_ptr\<*) ;; # smart-pointer ctor split across lines
+    *) printf '%s:%s:%s\n' "$file" "$line" "$rest" ;;
+    esac
+  done)
+if [ -n "${NAKED_NEW}" ]; then
+  printf '%s\n' "${NAKED_NEW}" >&2
+  fail "naked new outside a smart-pointer constructor"
+fi
+
+# Non-deterministic randomness: the simulator must stay reproducible.
+note "grep: std::rand / random_device / wall-clock seeding"
+if grep -rn --include='*.cpp' --include='*.hpp' \
+  -E 'std::rand\b|\bsrand\(|random_device|chrono::(steady|system|high_resolution)_clock' \
+  src | grep -v '//'; then
+  fail "non-deterministic randomness or wall clock in src/"
+fi
+
+# using namespace at namespace scope in headers leaks into every includer.
+note "grep: using namespace in headers"
+if grep -rn --include='*.hpp' -E '^\s*using namespace ' src; then
+  fail "using-namespace directive in a header"
+fi
+
+# Include hygiene: every header guards with #pragma once, and no source
+# file reaches into another module through a relative path.
+note "include hygiene"
+for h in $(find src -name '*.hpp'); do
+  if ! head -n 40 "$h" | grep -q '#pragma once'; then
+    fail "$h lacks #pragma once"
+  fi
+done
+if grep -rn --include='*.cpp' --include='*.hpp' -E '#include "\.\./' src; then
+  fail 'relative ("../") include paths — use module-rooted paths'
+fi
+
+# printf-family in src/ outside the logger and the audit layer: the
+# simulator's output discipline routes everything through common/log.
+note "grep: stray stdout/stderr writes"
+if grep -rn --include='*.cpp' --include='*.hpp' \
+  -E '\b(printf|fprintf|puts|std::cout|std::cerr)\b' src |
+  grep -v 'common/log' | grep -v 'common/audit' | grep -v '//'; then
+  fail "direct console I/O outside common/log and common/audit"
+fi
+
+# --- result ------------------------------------------------------------------
+
+if [ "${FAILURES}" -ne 0 ]; then
+  printf 'check.sh: %d check(s) failed\n' "${FAILURES}" >&2
+  exit 1
+fi
+note "all checks passed"

@@ -48,7 +48,9 @@ Bytes from_hex(std::string_view hex) {
 bool constant_time_equal(ByteView a, ByteView b) {
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
   return acc == 0;
 }
 

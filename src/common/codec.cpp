@@ -37,8 +37,8 @@ std::optional<std::uint8_t> Decoder::get_u8() {
 
 std::optional<std::uint16_t> Decoder::get_u16() {
   if (!ensure(2)) return std::nullopt;
-  std::uint16_t v = static_cast<std::uint16_t>(buf_[pos_]) |
-                    static_cast<std::uint16_t>(buf_[pos_ + 1]) << 8;
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      buf_[pos_] | (static_cast<unsigned>(buf_[pos_ + 1]) << 8));
   pos_ += 2;
   return v;
 }
@@ -46,7 +46,9 @@ std::optional<std::uint16_t> Decoder::get_u16() {
 std::optional<std::uint32_t> Decoder::get_u32() {
   if (!ensure(4)) return std::nullopt;
   std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+  }
   pos_ += 4;
   return v;
 }
@@ -54,7 +56,9 @@ std::optional<std::uint32_t> Decoder::get_u32() {
 std::optional<std::uint64_t> Decoder::get_u64() {
   if (!ensure(8)) return std::nullopt;
   std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+  }
   pos_ += 8;
   return v;
 }

@@ -57,7 +57,9 @@ class Client {
   std::uint64_t known_view() const noexcept { return view_; }
 
  private:
-  NodeId primary_of(std::uint64_t v) const noexcept { return v % cfg_.n; }
+  NodeId primary_of(std::uint64_t v) const noexcept {
+    return static_cast<NodeId>(v % cfg_.n);
+  }
 
   sim::Simulator* sim_;
   std::unique_ptr<Transport> transport_;

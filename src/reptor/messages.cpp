@@ -26,7 +26,7 @@ void put_digest(Encoder& e, const Digest& d) { e.put_raw(d); }
 std::optional<Digest> get_digest(Decoder& d) {
   auto raw = d.get_raw(32);
   if (!raw) return std::nullopt;
-  Digest out;
+  Digest out{};
   std::copy(raw->begin(), raw->end(), out.begin());
   return out;
 }

@@ -1,11 +1,27 @@
 #include "reptor/replica.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "common/audit.hpp"
 #include "common/codec.hpp"
 #include "common/log.hpp"
 
 namespace rubin::reptor {
+
+namespace {
+
+/// Audit helper: a certificate may only contain votes from real replica
+/// ids — anything else means authentication or routing let garbage in.
+[[maybe_unused]] bool voters_valid(const std::set<NodeId>& voters,
+                                   std::uint32_t n) {
+  for (const NodeId v : voters) {
+    if (v >= n) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 // --------------------------------------------------------- CounterApp ----
 
@@ -342,6 +358,13 @@ void Replica::try_prepare(std::uint64_t seq) {
   const Digest& d = entry.pp->digest;
   if (entry.prepares[d].size() < 2 * cfg_.f) return;
   entry.prepared = true;
+  // Quorum-size certificate: 2f PREPAREs (plus the pre-prepare) from
+  // distinct, real replicas back every prepared entry.
+  RUBIN_AUDIT_ASSERT("reptor",
+                     entry.prepares[d].size() >= 2 * cfg_.f &&
+                         voters_valid(entry.prepares[d], cfg_.n),
+                     "prepared certificate below quorum or with bogus "
+                     "voters at seq " + std::to_string(seq));
   send_to_replicas(Message{Commit{view_, seq, d}});
   entry.commits[d].insert(cfg_.self);
   try_commit(seq);
@@ -363,6 +386,11 @@ void Replica::try_commit(std::uint64_t seq) {
   const Digest& d = entry.pp->digest;
   if (entry.commits[d].size() < 2 * cfg_.f + 1) return;
   entry.committed = true;
+  RUBIN_AUDIT_ASSERT("reptor",
+                     entry.commits[d].size() >= 2 * cfg_.f + 1 &&
+                         voters_valid(entry.commits[d], cfg_.n),
+                     "committed certificate below quorum or with bogus "
+                     "voters at seq " + std::to_string(seq));
   ++stats_.batches_committed;
 }
 
@@ -372,6 +400,14 @@ sim::Task<void> Replica::execute_ready() {
     const auto it = log_.find(last_executed_ + 1);
     if (it == log_.end() || !it->second.committed || it->second.executed) break;
     LogEntry& entry = it->second;
+    // Execution-order invariants: sequences execute gaplessly in order,
+    // and only entries that went through the full agreement certificate
+    // are allowed to touch the state machine.
+    RUBIN_AUDIT_ASSERT("reptor", it->first == last_executed_ + 1,
+                       "execution would skip a sequence number");
+    RUBIN_AUDIT_ASSERT("reptor", entry.pp.has_value() && entry.committed,
+                       "executing an entry without a committed proposal at "
+                       "seq " + std::to_string(it->first));
     for (const Request& req : entry.pp->batch) {
       auto& rec = clients_[req.client];
       if (req.id <= rec.last_id) continue;  // duplicate across batches
@@ -385,6 +421,8 @@ sim::Task<void> Replica::execute_ready() {
     }
     entry.executed = true;
     ++last_executed_;
+    RUBIN_AUDIT_ASSERT("reptor", last_executed_ == it->first,
+                       "last_executed diverged from the executed sequence");
     progressed = true;
     // Below the stable checkpoint this entry was only kept for catch-up.
     if (it->first <= stable_) log_.erase(it);
@@ -428,6 +466,14 @@ void Replica::handle_checkpoint_quorum(
   while (proven_checkpoints_.size() > 4) {
     proven_checkpoints_.erase(proven_checkpoints_.begin());
   }
+  // Stable checkpoints only move forward (the seq <= stable_ guard above
+  // is what enforces it; this audit keeps that guard honest) and always
+  // rest on a 2f+1 certificate of distinct real replicas.
+  RUBIN_AUDIT_ASSERT("reptor", seq > stable_,
+                     "stable checkpoint moved backwards");
+  RUBIN_AUDIT_ASSERT("reptor",
+                     voters_valid(checkpoints_[seq][digests], cfg_.n),
+                     "checkpoint certificate carries bogus voter ids");
   stable_ = seq;
   ++stats_.checkpoints_stable;
   // Garbage-collect the log and checkpoint votes below the stable point —
@@ -585,6 +631,7 @@ sim::Task<void> Replica::handle_new_view(const Envelope& env) {
 }
 
 void Replica::enter_view(std::uint64_t v) {
+  RUBIN_AUDIT_ASSERT("reptor", v > view_, "view number moved backwards");
   view_ = v;
   in_view_change_ = false;
   disarm_vc_timer();
@@ -697,6 +744,8 @@ sim::Task<void> Replica::handle_state_response(const Envelope& env) {
   if (!app_->restore(resp.app_snapshot, proven->second.first)) co_return;
   if (!restore_clients(resp.client_table)) co_return;  // (digest already checked)
 
+  RUBIN_AUDIT_ASSERT("reptor", resp.seq > last_executed_,
+                     "state transfer would rewind execution");
   last_executed_ = resp.seq;
   stable_ = std::max(stable_, resp.seq);
   std::erase_if(log_, [&](const auto& kv) { return kv.first <= resp.seq; });

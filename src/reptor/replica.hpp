@@ -131,7 +131,9 @@ class Replica {
     std::optional<Reply> last_reply;
   };
 
-  NodeId primary_of(std::uint64_t v) const noexcept { return v % cfg_.n; }
+  NodeId primary_of(std::uint64_t v) const noexcept {
+    return static_cast<NodeId>(v % cfg_.n);
+  }
   bool in_window(std::uint64_t seq) const noexcept {
     return seq > stable_ && seq <= stable_ + cfg_.window;
   }

@@ -33,6 +33,9 @@ class BufferPool {
   std::optional<std::uint32_t> acquire();
   void release(std::uint32_t slot);
 
+  /// Slots handed out by acquire() and not yet released.
+  std::uint32_t acquired_count() const noexcept { return count_ - free_count(); }
+
   /// SGE covering `len` bytes of `slot`.
   verbs::Sge sge(std::uint32_t slot, std::uint32_t len) const;
   /// Writable view of a slot's memory.
@@ -46,6 +49,10 @@ class BufferPool {
   std::uint32_t count_;
   std::size_t size_;
   std::vector<std::uint32_t> free_;
+  /// Audit: per-slot lifecycle state (0 = free, 1 = acquired). Detects
+  /// double release and leak-at-destruction; maintained unconditionally
+  /// (one byte per slot), checked only under RUBIN_AUDIT.
+  std::vector<std::uint8_t> slot_state_;
 };
 
 }  // namespace rubin::nio

@@ -1,8 +1,11 @@
 #include "rubin/channel.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
+#include "common/audit.hpp"
 #include "rubin/context.hpp"
 
 namespace rubin::nio {
@@ -14,6 +17,18 @@ RdmaChannel::RdmaChannel(RubinContext& ctx, std::uint64_t id,
     : ctx_(&ctx), id_(id), cfg_(cfg), activity_(ctx.simulator()) {}
 
 RdmaChannel::~RdmaChannel() {
+  // Return pool slots still riding on in-flight WRs: the hardware can no
+  // longer complete them once the QP dies with the channel, and the
+  // pool's leak-at-destruction audit should only report slots the
+  // application truly lost.
+  if (send_pool_ != nullptr) {
+    for (const OutstandingSend& o : outstanding_) {
+      if (o.pool_slot >= 0) {
+        send_pool_->release(static_cast<std::uint32_t>(o.pool_slot));
+        ++reclaimed_wrs_;
+      }
+    }
+  }
   for (auto& [base, mr] : send_mr_cache_) ctx_->pd().deregister(mr);
 }
 
@@ -84,14 +99,24 @@ void RdmaChannel::pump() {
     ++stats_.signaled_completions;
     // In-order reclamation: this signaled completion covers every earlier
     // unsignaled WR (selective signaling, §IV).
+    bool matched_signaled = false;
     while (!outstanding_.empty()) {
       const OutstandingSend done = outstanding_.front();
       outstanding_.pop_front();
+      ++reclaimed_wrs_;
       if (done.pool_slot >= 0) {
         send_pool_->release(static_cast<std::uint32_t>(done.pool_slot));
       }
-      if (done.signaled) break;
+      if (done.signaled) {
+        matched_signaled = true;
+        break;
+      }
     }
+    // Completions are delivered in order, so every successful signaled
+    // completion must map onto the oldest signaled WR still outstanding;
+    // running dry instead means posted/reclaimed accounting broke.
+    RUBIN_AUDIT_ASSERT("channel", matched_signaled,
+                       "signaled completion with no signaled WR outstanding");
   }
   for (const verbs::Completion& c : recv_cq_->poll(64)) {
     if (c.status != verbs::WcStatus::kSuccess) {
@@ -177,8 +202,20 @@ sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
                 sends_since_signal_ >= cfg_.signal_interval || low_slots;
   if (wr.signaled) sends_since_signal_ = 0;
   rec.signaled = wr.signaled;
+  // Selective-signaling cadence: an unsignaled run longer than the
+  // configured interval can never be reclaimed promptly and will wedge
+  // the send queue.
+  RUBIN_AUDIT_ASSERT(
+      "channel",
+      sends_since_signal_ < std::max<std::uint32_t>(cfg_.signal_interval, 1),
+      "unsignaled send run exceeds the signal interval");
 
   outstanding_.push_back(rec);
+  ++posted_wrs_;
+  RUBIN_AUDIT_ASSERT("channel", outstanding_.size() <= cfg_.buffer_count,
+                     "outstanding WRs exceed the send queue depth (" +
+                         std::to_string(outstanding_.size()) + " > " +
+                         std::to_string(cfg_.buffer_count) + ")");
   out.push_back(wr);
   ++stats_.messages_sent;
   co_return true;
@@ -193,6 +230,10 @@ sim::Task<std::size_t> RdmaChannel::write(ByteView msg) {
 sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<ByteView> msgs) {
   co_await ack_events();
   pump();
+  RUBIN_AUDIT_ASSERT("channel",
+                     outstanding_.size() == posted_wrs_ - reclaimed_wrs_,
+                     "posted/reclaimed WR accounting diverged from the "
+                     "outstanding queue");
   if (state_ != State::kEstablished || msgs.empty()) {
     // Even a failed call costs CPU — and guarantees that "retry until
     // writable" loops always advance virtual time (no livelock).

@@ -146,6 +146,12 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   std::unique_ptr<BufferPool> recv_pool_;
 
   std::deque<OutstandingSend> outstanding_;
+  /// Audit: work-request accounting. Every accepted send increments
+  /// posted_wrs_; every reclaimed OutstandingSend increments
+  /// reclaimed_wrs_. Invariant: outstanding_.size() == posted - reclaimed
+  /// and never exceeds the QP's send queue depth.
+  std::uint64_t posted_wrs_ = 0;
+  std::uint64_t reclaimed_wrs_ = 0;
   /// Completion events delivered but not yet acknowledged by the
   /// application thread; the next channel operation pays event_ack_cpu
   /// for each (selective signaling keeps this small).

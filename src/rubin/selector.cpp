@@ -1,5 +1,9 @@
 #include "rubin/selector.hpp"
 
+#include <string>
+
+#include "common/audit.hpp"
+
 namespace rubin::nio {
 
 RdmaSelector::RdmaSelector(RubinContext& ctx)
@@ -20,6 +24,9 @@ RdmaSelectionKey* RdmaSelector::register_channel(
   key->channel_id_ = key->channel_->id();
   key->interest_ = interest;
   key->attachment_ = attachment;
+  RUBIN_AUDIT_ASSERT("selector", find_key(key->channel_id_) == nullptr,
+                     "channel " + std::to_string(key->channel_id_) +
+                         " registered twice with the same selector");
   // Channel events (CM + completions) flow into the hybrid queue tagged
   // with the connection id the selector will match on (Fig. 2, step 4).
   const std::uint64_t id = key->channel_id_;
@@ -40,6 +47,9 @@ RdmaSelectionKey* RdmaSelector::register_server(
   key->channel_id_ = key->server_->id();
   key->interest_ = interest;
   key->attachment_ = attachment;
+  RUBIN_AUDIT_ASSERT("selector", find_key(key->channel_id_) == nullptr,
+                     "server channel " + std::to_string(key->channel_id_) +
+                         " registered twice with the same selector");
   const std::uint64_t id = key->channel_id_;
   key->server_->selector_notify_ = [this, id] {
     em_.push(EventManager::HybridEvent{
@@ -100,9 +110,16 @@ sim::Task<std::size_t> RdmaSelector::select(sim::Time timeout) {
     sweep_cancelled();
     selected_.clear();
     for (auto& key : keys_) {
+      // sweep_cancelled() ran just above; a cancelled key surviving into
+      // the scan would let select() report (and the app operate on) a key
+      // whose channel may already be torn down.
+      RUBIN_AUDIT_ASSERT("selector", !key->cancelled_,
+                         "cancelled key survived sweep into the ready scan");
       const std::uint32_t ready = key->interest_ & current_ready(*key);
       if (ready != 0) {
         key->ready_ = ready;
+        RUBIN_AUDIT_ASSERT("selector", (key->ready_ & ~key->interest_) == 0,
+                           "ready set escapes the interest set");
         if (ready & kOpAccept && key->channel_) key->accept_fired_ = true;
         selected_.push_back(key.get());
       }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/audit.hpp"
 #include "rubin/channel.hpp"
 #include "rubin/context.hpp"
 #include "sim/event.hpp"
@@ -35,7 +36,11 @@ enum Ops : std::uint32_t {
 class RdmaSelectionKey {
  public:
   std::uint32_t interest_ops() const noexcept { return interest_; }
-  void set_interest_ops(std::uint32_t ops) noexcept { interest_ = ops; }
+  void set_interest_ops(std::uint32_t ops) noexcept {
+    RUBIN_AUDIT_ASSERT("selector", !cancelled_,
+                       "set_interest_ops on a cancelled key");
+    interest_ = ops;
+  }
   std::uint32_t ready_ops() const noexcept { return ready_; }
 
   bool is_connectable() const noexcept { return ready_ & kOpConnect; }
@@ -44,7 +49,10 @@ class RdmaSelectionKey {
   bool is_sendable() const noexcept { return ready_ & kOpSend; }
 
   std::uint64_t attachment() const noexcept { return attachment_; }
-  void attach(std::uint64_t v) noexcept { attachment_ = v; }
+  void attach(std::uint64_t v) noexcept {
+    RUBIN_AUDIT_ASSERT("selector", !cancelled_, "attach on a cancelled key");
+    attachment_ = v;
+  }
 
   /// The registered channel's unique connection identifier.
   std::uint64_t channel_id() const noexcept { return channel_id_; }

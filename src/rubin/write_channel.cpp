@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/audit.hpp"
+
 namespace rubin::nio {
 
 namespace {
@@ -69,11 +71,23 @@ sim::Task<std::size_t> OneSidedChannel::write(ByteView msg) {
   // cell; without this check we would overwrite unconsumed slots — the
   // "read/write race resulting in corrupted data" of paper §III-A.
   const std::uint64_t consumed = read_u64(credit_cell_.data());
+  // The credit cell is remote-writable memory: a peer can write a value
+  // that goes backwards or claims consumption ahead of what we sent.
+  // Either is counted (it is the peer's fault, not a local bug) and the
+  // flow-control gate below handles it conservatively.
+  if (consumed < last_credit_ || consumed > sent_seq_) {
+    RUBIN_AUDIT_COUNT("onesided.implausible_credit", 1);
+  } else {
+    last_credit_ = consumed;
+  }
   if (sent_seq_ - consumed >= cfg_.slot_count) {
     ++stats_.no_credit_stalls;
     co_await ctx_->simulator().sleep(ctx_->cost().post_call_cpu);
     co_return 0;
   }
+  RUBIN_AUDIT_ASSERT("onesided", sent_seq_ - consumed < cfg_.slot_count,
+                     "ring slot about to be reused before the peer "
+                     "consumed it");
 
   // Stage header + payload in our registered staging slot, then one
   // RDMA WRITE places the whole message in the peer's ring.
@@ -124,9 +138,16 @@ sim::Task<std::size_t> OneSidedChannel::read(MutByteView out) {
   ++recv_seq_;
   ++stats_.messages_received;
 
+  RUBIN_AUDIT_ASSERT("onesided", recv_seq_ >= credited_seq_,
+                     "credited more consumption than actually consumed");
   if (recv_seq_ - credited_seq_ >= cfg_.credit_interval) {
     co_await return_credits();
   }
+  // Credit-return cadence: falling further behind than one interval
+  // means the peer will stall on a full ring for no reason.
+  RUBIN_AUDIT_ASSERT("onesided",
+                     recv_seq_ - credited_seq_ < cfg_.credit_interval,
+                     "credit return fell behind its cadence");
   co_return len;
 }
 

@@ -110,6 +110,10 @@ class OneSidedChannel {
   std::uint64_t recv_seq_ = 0;      // messages consumed locally
   std::uint64_t credited_seq_ = 0;  // last consumed count sent to the peer
   std::uint64_t wr_seq_ = 0;        // selective-signaling counter
+  /// Audit: highest plausible credit value observed. The credit cell is
+  /// remotely writable (§III-C), so implausible values are *counted*, not
+  /// asserted — a Byzantine peer may forge them.
+  std::uint64_t last_credit_ = 0;
 
   OneSidedStats stats_;
 };

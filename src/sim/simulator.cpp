@@ -1,45 +1,60 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <exception>
+#include <unordered_set>
+
+#include "common/audit.hpp"
+#include "common/log.hpp"
 
 namespace rubin::sim {
 
 /// Grants the root-task driver access to Simulator::root_finished without
 /// making it part of the public API.
 struct RootDriverAccess {
-  static void finished(Simulator* sim) noexcept { sim->root_finished(); }
+  static void finished(Simulator* sim, std::uint64_t id) noexcept {
+    sim->root_finished(id);
+  }
 };
 
 namespace {
 
-/// Self-destructing driver for root tasks: owns the child Task in its frame
-/// (so the child's frame dies with it) and evaporates at final_suspend.
-struct RootDriver {
-  struct promise_type {
-    RootDriver get_return_object() { return {}; }
-    std::suspend_never initial_suspend() noexcept { return {}; }
-    std::suspend_never final_suspend() noexcept { return {}; }
-    void return_void() noexcept {}
-    void unhandled_exception() noexcept {
-      std::fprintf(stderr, "fatal: exception escaped a root sim task\n");
-      std::terminate();
-    }
-  };
-};
-
-RootDriver drive(Task<> task, Simulator* sim) {
-  co_await std::move(task);
-  RootDriverAccess::finished(sim);
+/// Driver for root tasks: owns the child Task in its frame (so the whole
+/// chain dies with it). The Simulator owns the driver itself — that is
+/// what lets a simulator torn down mid-run destroy suspended processes
+/// instead of leaking their frames.
+Task<> drive(Task<> task, Simulator* sim, std::uint64_t id) {
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    log_error("sim", "fatal: exception escaped a root sim task");
+    std::terminate();
+  }
+  RootDriverAccess::finished(sim, id);
 }
 
 }  // namespace
+
+Simulator::~Simulator() { terminate_processes(); }
+
+void Simulator::terminate_processes() {
+  reap_finished_roots();
+  // Remaining drivers are suspended mid-chain; destroying them unwinds
+  // each process's frames (and their locals) without resuming anything.
+  // Pending start events in the heap look their root up by id and become
+  // no-ops.
+  roots_.clear();
+  live_roots_ = 0;
+}
 
 TimerId Simulator::schedule_at(Time t, UniqueFunction fn) {
   const TimerId id = next_seq_++;
   heap_.push_back(Entry{std::max(t, now_), id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end());
+  // The min element can never sit in the past, or virtual time would run
+  // backwards on the next step().
+  RUBIN_AUDIT_ASSERT("sim", heap_.front().t >= now_,
+                     "timer heap head is in the past");
   return id;
 }
 
@@ -56,12 +71,20 @@ void Simulator::cancel(TimerId id) {
 
 void Simulator::spawn(Task<> task) {
   ++live_roots_;
+  const std::uint64_t id = next_root_id_++;
+  roots_.emplace(id, drive(std::move(task), this, id));
   // Start through the queue so spawn order == start order and spawn()
-  // itself never runs user code.
-  post([t = std::move(task), this]() mutable { drive(std::move(t), this); });
+  // itself never runs user code. The driver is lazy (initial_suspend);
+  // this first resume kicks it off.
+  post([this, id] {
+    if (auto it = roots_.find(id); it != roots_.end()) {
+      it->second.handle().resume();
+    }
+  });
 }
 
 bool Simulator::step() {
+  if (!finished_roots_.empty()) reap_finished_roots();
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end());
     Entry e = std::move(heap_.back());
@@ -70,6 +93,11 @@ bool Simulator::step() {
       cancelled_.erase(it);
       continue;
     }
+    // Virtual time is monotonic: the heap orders by (t, seq) and
+    // schedule_at clamps to now, so a popped entry in the past means the
+    // heap property was violated.
+    RUBIN_AUDIT_ASSERT("sim", e.t >= now_,
+                       "event popped out of order (time went backwards)");
     now_ = e.t;
     ++events_processed_;
     e.fn();
@@ -90,6 +118,33 @@ void Simulator::run_until(Time deadline) {
     step();
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::root_finished(std::uint64_t id) noexcept {
+  RUBIN_AUDIT_ASSERT("sim", live_roots_ > 0,
+                     "root task finished with no live roots (double "
+                     "completion or unbalanced accounting)");
+  if (live_roots_ > 0) --live_roots_;
+  // Called from inside the finishing driver's own frame: the erase (and
+  // frame destruction) must wait until it has parked at final_suspend.
+  finished_roots_.push_back(id);
+}
+
+void Simulator::reap_finished_roots() {
+  for (const std::uint64_t id : finished_roots_) roots_.erase(id);
+  finished_roots_.clear();
+}
+
+bool Simulator::validate_heap() const {
+  if (!std::is_heap(heap_.begin(), heap_.end())) return false;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(heap_.size());
+  for (const Entry& e : heap_) {
+    if (e.t < now_) return false;
+    if (e.seq >= next_seq_) return false;
+    if (!seen.insert(e.seq).second) return false;  // duplicate timer id
+  }
+  return true;
 }
 
 }  // namespace rubin::sim

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_set>
 #include <vector>
 
@@ -23,6 +24,7 @@ using TimerId = std::uint64_t;
 class Simulator {
  public:
   Simulator() = default;
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -43,7 +45,9 @@ class Simulator {
   void cancel(TimerId id);
 
   /// Starts a root coroutine. It begins running when the event loop next
-  /// reaches the current instant; its frame is destroyed on completion.
+  /// reaches the current instant. The simulator owns the frame: it is
+  /// destroyed on completion, and a simulator torn down mid-run destroys
+  /// still-suspended process chains instead of leaking them.
   /// Exceptions escaping a root task call std::terminate — a simulated
   /// process with nobody to rethrow to is a test bug.
   void spawn(Task<> task);
@@ -73,13 +77,27 @@ class Simulator {
     return Awaiter{this, delay};
   }
 
+  /// Destroys every still-suspended root process without resuming it
+  /// (their frames unwind, running local destructors). The destructor
+  /// does this too; call it earlier when the processes reference objects
+  /// that die before the simulator — e.g. a test fixture that declares
+  /// the simulator first and channels after it.
+  void terminate_processes();
+
   /// Number of root tasks spawned that have not yet completed.
   std::size_t live_roots() const noexcept { return live_roots_; }
   std::uint64_t events_processed() const noexcept { return events_processed_; }
 
+  /// Audit: full O(n) validation of the timer heap — the (t, seq)
+  /// min-heap property plus per-entry sanity (no entry in the past, no
+  /// duplicate sequence numbers). Too expensive for the per-event hot
+  /// path; tests and debugging call it at checkpoints.
+  bool validate_heap() const;
+
  private:
   friend struct RootDriverAccess;
-  void root_finished() noexcept { --live_roots_; }
+  void root_finished(std::uint64_t id) noexcept;
+  void reap_finished_roots();
 
   struct Entry {
     Time t;
@@ -98,6 +116,15 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::size_t live_roots_ = 0;
+  std::uint64_t next_root_id_ = 0;
+  /// Root frames finished but not yet erased: a driver signals completion
+  /// from inside its own frame, so the erase is deferred to the next
+  /// step() (the frame is parked at final_suspend until then).
+  std::vector<std::uint64_t> finished_roots_;
+  /// Owned root drivers (each driver frame owns its child task chain).
+  /// Declared last so they are destroyed *first*: frame destruction runs
+  /// user destructors that may still call cancel() or schedule accessors.
+  std::map<std::uint64_t, Task<>> roots_;
 };
 
 }  // namespace rubin::sim

@@ -148,6 +148,10 @@ class [[nodiscard]] Task<void> {
     return std::exchange(coro_, nullptr);
   }
 
+  /// The underlying handle, ownership retained (Simulator uses this to
+  /// start root drivers it keeps owning).
+  std::coroutine_handle<promise_type> handle() const noexcept { return coro_; }
+
  private:
   void destroy() noexcept {
     if (coro_) {

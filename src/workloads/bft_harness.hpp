@@ -47,6 +47,11 @@ class BftHarness {
     }
   }
 
+  /// Replica/client coroutines still suspended at teardown reference the
+  /// transports, contexts, and devices below; destroy their frames while
+  /// those are alive.
+  ~BftHarness() { sim_.terminate_processes(); }
+
   sim::Simulator& sim() noexcept { return sim_; }
   net::Fabric& fabric() noexcept { return fabric_; }
   const GroupLayout& layout() const noexcept { return layout_; }

@@ -316,7 +316,7 @@ EchoPoint run_readwrite_echo(const EchoParams& p) {
     verbs::MemoryRegion* mr_out_s;
     Time poll_interval;
     bool server_up = true;
-    LatencyRecorder lat;
+    LatencyRecorder lat{};
     Time started = 0;
     Time finished = 0;
 

@@ -15,6 +15,10 @@ using sim::Time;
 
 class FabricTest : public ::testing::Test {
  protected:
+  // Abandoned coroutines hold references into the members below;
+  // kill them while those members are still alive.
+  ~FabricTest() override { sim.terminate_processes(); }
+
   sim::Simulator sim;
   CostModel cm = CostModel::roce_10g();
   Fabric fabric{sim, cm, 4};

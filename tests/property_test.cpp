@@ -171,7 +171,9 @@ TEST_P(SimDeterminism, RandomTimerSoupIsReproducible) {
   // And globally time-ordered, FIFO among equal timestamps.
   for (std::size_t i = 1; i < a.size(); ++i) {
     EXPECT_LE(a[i - 1].first, a[i].first);
-    if (a[i - 1].first == a[i].first) EXPECT_LT(a[i - 1].second, a[i].second);
+    if (a[i - 1].first == a[i].first) {
+      EXPECT_LT(a[i - 1].second, a[i].second);
+    }
   }
 }
 

@@ -20,6 +20,10 @@ using sim::Time;
 
 class RubinTest : public ::testing::Test {
  public:
+  // Abandoned coroutines hold references into the members below;
+  // kill them while those members are still alive.
+  ~RubinTest() override { sim.terminate_processes(); }
+
   /// Runs the CM handshake for one client->server connection and returns
   /// both ends established.
   struct Pair {
@@ -181,10 +185,12 @@ TEST_F(RubinTest, ReadEmptyReturnsZero) {
 
 TEST_F(RubinTest, ReadIntoTooSmallBufferThrows) {
   auto [client, server] = make_pair();
-  sim.spawn([](std::shared_ptr<RdmaChannel> c) -> Task<> {
-    const Bytes m = patterned_bytes(4096, 0);
+  // Zero-copy send contract: the buffer must outlive the WR, so it lives
+  // in the test body, not the coroutine frame (see RdmaChannel::write).
+  const Bytes m = patterned_bytes(4096, 0);
+  sim.spawn([](std::shared_ptr<RdmaChannel> c, const Bytes& m) -> Task<> {
     (void)co_await c->write(m);
-  }(client));
+  }(client, m));
   bool threw = false;
   sim.spawn([](std::shared_ptr<RdmaChannel> s, bool& threw) -> Task<> {
     Bytes rx(16);
@@ -205,15 +211,15 @@ TEST_F(RubinTest, BackpressureThenRecovery) {
   auto [client, server] = make_pair(cfg);
   int rejected = 0;
   int accepted = 0;
-  sim.spawn([](std::shared_ptr<RdmaChannel> c, int& accepted,
+  const Bytes m = patterned_bytes(8192, 7);  // outlives the zero-copy WRs
+  sim.spawn([](std::shared_ptr<RdmaChannel> c, const Bytes& m, int& accepted,
                int& rejected) -> Task<> {
-    const Bytes m = patterned_bytes(8192, 7);
     // Burst faster than completions can reclaim slots.
     for (int i = 0; i < 8; ++i) {
       const std::size_t n = co_await c->write(m);
       (n > 0 ? accepted : rejected) += 1;
     }
-  }(client, accepted, rejected));
+  }(client, m, accepted, rejected));
   sim.run();
   EXPECT_GT(rejected, 0);
   EXPECT_GE(accepted, 3);
@@ -228,16 +234,16 @@ TEST_F(RubinTest, SelectiveSignalingReducesCompletions) {
   sparse.signal_interval = 16;
   auto p1 = make_pair(sparse);
   listeners_.clear();
+  const Bytes payload = patterned_bytes(1024, 0);  // outlives the zero-copy WRs
 
   auto send_64 = [&](std::shared_ptr<RdmaChannel> c,
                      std::shared_ptr<RdmaChannel> s) {
-    sim.spawn([](std::shared_ptr<RdmaChannel> c) -> Task<> {
-      const Bytes m = patterned_bytes(1024, 0);
+    sim.spawn([](std::shared_ptr<RdmaChannel> c, const Bytes& m) -> Task<> {
       for (int i = 0; i < 64; ++i) {
         std::size_t n = 0;
         while (n == 0) n = co_await c->write(m);
       }
-    }(c));
+    }(c, payload));
     sim.spawn([](std::shared_ptr<RdmaChannel> s) -> Task<> {
       Bytes rx(64 * 1024);
       for (int i = 0; i < 64; ++i) (void)co_await s->read_await(rx);
@@ -262,13 +268,12 @@ TEST_F(RubinTest, SelectiveSignalingReducesCompletions) {
   sim2.run_until(sim2.now() + sim::microseconds(50));
   auto server = listener->accept();
   sim2.run_until(sim2.now() + sim::microseconds(50));
-  sim2.spawn([](std::shared_ptr<RdmaChannel> c) -> Task<> {
-    const Bytes m = patterned_bytes(1024, 0);
+  sim2.spawn([](std::shared_ptr<RdmaChannel> c, const Bytes& m) -> Task<> {
     for (int i = 0; i < 64; ++i) {
       std::size_t n = 0;
       while (n == 0) n = co_await c->write(m);
     }
-  }(client));
+  }(client, payload));
   sim2.spawn([](std::shared_ptr<RdmaChannel> s) -> Task<> {
     Bytes rx(64 * 1024);
     for (int i = 0; i < 64; ++i) (void)co_await s->read_await(rx);
@@ -282,12 +287,14 @@ TEST_F(RubinTest, SelectiveSignalingReducesCompletions) {
 
 TEST_F(RubinTest, SmallMessagesGoInline) {
   auto [client, server] = make_pair();
-  sim.spawn([](std::shared_ptr<RdmaChannel> c) -> Task<> {
+  // The inline payload is copied into the WQE at post time and may live in
+  // the frame; the zero-copy one must outlive the WR.
+  const Bytes large = patterned_bytes(8192, 0);
+  sim.spawn([](std::shared_ptr<RdmaChannel> c, const Bytes& large) -> Task<> {
     const Bytes small = patterned_bytes(64, 0);
-    const Bytes large = patterned_bytes(8192, 0);
     (void)co_await c->write(small);
     (void)co_await c->write(large);
-  }(client));
+  }(client, large));
   sim.run();
   EXPECT_EQ(client->stats().inline_sends, 1u);
   EXPECT_EQ(client->stats().zero_copy_sends, 1u);  // default config
@@ -351,17 +358,18 @@ TEST_F(RubinTest, ZeroCopyReceiveSkipsTheCopy) {
 
 TEST_F(RubinTest, BatchedWritesShareOneDoorbell) {
   auto [client, server] = make_pair();
-  sim.spawn([](std::shared_ptr<RdmaChannel> c) -> Task<> {
-    const Bytes m1 = patterned_bytes(1000, 1);
-    const Bytes m2 = patterned_bytes(2000, 2);
-    const Bytes m3 = patterned_bytes(3000, 3);
+  const Bytes m1 = patterned_bytes(1000, 1);  // outlive the zero-copy WRs
+  const Bytes m2 = patterned_bytes(2000, 2);
+  const Bytes m3 = patterned_bytes(3000, 3);
+  sim.spawn([](std::shared_ptr<RdmaChannel> c, const Bytes& m1,
+               const Bytes& m2, const Bytes& m3) -> Task<> {
     std::vector<ByteView> batch;
     batch.push_back(m1);
     batch.push_back(m2);
     batch.push_back(m3);
     const std::size_t n = co_await c->write_batch(std::move(batch));
     EXPECT_EQ(n, 3u);
-  }(client));
+  }(client, m1, m2, m3));
   sim.run();
   EXPECT_EQ(client->stats().messages_sent, 3u);
   EXPECT_EQ(client->stats().doorbells, 1u);

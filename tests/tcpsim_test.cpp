@@ -20,6 +20,10 @@ using sim::Time;
 
 class TcpTest : public ::testing::Test {
  protected:
+  // Abandoned coroutines hold references into the members below;
+  // kill them while those members are still alive.
+  ~TcpTest() override { sim.terminate_processes(); }
+
   sim::Simulator sim;
   net::Fabric fabric{sim, net::CostModel::roce_10g(), 4};
   TcpNetwork net{fabric};

@@ -51,7 +51,7 @@ class TransportTest : public ::testing::TestWithParam<Backend> {
 };
 
 TEST_P(TransportTest, MeshBringUpConnectsEveryPair) {
-  with_mesh(4, 2, [](BftHarness& h, auto& ts) {
+  with_mesh(4, 2, [](BftHarness&, auto& ts) {
     for (NodeId r = 0; r < 4; ++r) {
       for (NodeId o = 0; o < 6; ++o) {
         if (o == r) continue;

@@ -20,6 +20,10 @@ using sim::Time;
 /// the scaffolding every data-path test needs.
 class VerbsTest : public ::testing::Test {
  public:  // accessed from parameter-passing coroutine lambdas
+  // Abandoned coroutines hold references into the members below;
+  // kill them while those members are still alive.
+  ~VerbsTest() override { sim.terminate_processes(); }
+
   void SetUp() override {
     scq_a = dev_a.create_cq(256);
     rcq_a = dev_a.create_cq(256);
@@ -493,6 +497,10 @@ TEST_F(VerbsTest, ChannelSinkRedirectsEvents) {
 
 class CmTest : public ::testing::Test {
  protected:
+  // Abandoned coroutines hold references into the members below;
+  // kill them while those members are still alive.
+  ~CmTest() override { sim.terminate_processes(); }
+
   std::shared_ptr<QueuePair> make_qp(Device& dev, ProtectionDomain& pd) {
     auto* scq = dev.create_cq(64);
     auto* rcq = dev.create_cq(64);

@@ -19,6 +19,10 @@ using sim::Task;
 
 class OneSidedTest : public ::testing::Test {
  public:
+  // Abandoned coroutines hold references into the members below;
+  // kill them while those members are still alive.
+  ~OneSidedTest() override { sim.terminate_processes(); }
+
   sim::Simulator sim;
   net::Fabric fabric{sim, net::CostModel::roce_10g(), 3};
   verbs::Device dev_a{fabric, 0};
