@@ -6,6 +6,9 @@
 // the right metric.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+
 #include "net/fabric.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/simulator.hpp"
@@ -50,6 +53,105 @@ void BM_CoroutinePingPong(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_CoroutinePingPong);
+
+// ---------------------------------------------------- fast-path splits --
+// The next four benchmarks isolate the PR-2 kernel fast paths against the
+// erased baseline they bypass, so a regression in any single layer (SBO
+// emplace, coroutine payload, same-instant ring, sorted run) shows up on
+// its own line instead of being averaged into an end-to-end number.
+
+/// Erased baseline: every event builds a UniqueFunction in a timer slot.
+void BM_ScheduleErased(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(i, [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ScheduleErased);
+
+/// Coroutine fast path: the same 1000 timed wakeups via schedule_resume
+/// (one sleeping coroutine), no type erasure, no slot traffic.
+void BM_ScheduleResume(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    sim.spawn([](sim::Simulator& s, std::uint64_t& sink) -> sim::Task<> {
+      for (int i = 0; i < 1000; ++i) {
+        co_await s.sleep(1);
+        ++sink;
+      }
+    }(sim, sink));
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ScheduleResume);
+
+/// Same-instant events through the FIFO ring (post at now): the path every
+/// mailbox wakeup takes. Chained so the queue never empties until the end.
+void BM_PostAtNowRing(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    std::function<void()> chain = [&] {
+      if (++sink < 1000) sim.post([&chain] { chain(); });
+    };
+    sim.post([&chain] { chain(); });
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PostAtNowRing);
+
+/// The same chained workload forced onto the timer structures (post at
+/// now + 1): what same-instant traffic would cost without the ring.
+void BM_PostAtFutureHeap(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    std::function<void()> chain = [&] {
+      if (++sink < 1000) sim.schedule_after(1, [&chain] { chain(); });
+    };
+    sim.schedule_after(1, [&chain] { chain(); });
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PostAtFutureHeap);
+
+/// Mailbox burst/drain on the growing ring: one producer fills, one
+/// consumer drains, 8 messages in flight — the queue-depth regime the
+/// protocol layers (pipelined consensus instances) actually run at.
+void BM_MailboxBurst(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Mailbox<int> box(sim);
+    sim.spawn([](sim::Simulator& s, sim::Mailbox<int>& box) -> sim::Task<> {
+      for (int round = 0; round < 125; ++round) {
+        for (int i = 0; i < 8; ++i) box.push(i);
+        co_await s.sleep(1);
+      }
+    }(sim, box));
+    sim.spawn([](sim::Mailbox<int>& box) -> sim::Task<> {
+      std::uint64_t sink = 0;
+      for (int i = 0; i < 1000; ++i) sink += static_cast<std::uint64_t>(
+          co_await box.recv());
+      benchmark::DoNotOptimize(sink);
+    }(box));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MailboxBurst);
 
 void BM_RdmaChannelEcho(benchmark::State& state) {
   const auto payload = static_cast<std::size_t>(state.range(0));

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -36,8 +38,18 @@ class Fabric {
   /// bandwidth-bound regime for large payloads). `deliver` runs at the
   /// destination when the last bit arrives — unless the frame is dropped
   /// or the pair is partitioned, in which case it is destroyed unrun.
+  /// Forwarding template: the delivery action reaches the simulator's
+  /// schedule slot without ever being type-erased into an intermediate
+  /// UniqueFunction (DESIGN.md §5 "kernel fast paths").
+  template <typename F>
+    requires std::is_invocable_v<std::decay_t<F>&>
   void transmit(HostId src, HostId dst, std::size_t payload_bytes,
-                sim::UniqueFunction deliver);
+                F&& deliver) {
+    if (const auto arrival = plan_transmit(src, dst, payload_bytes)) {
+      sim_->schedule_at(*arrival, std::forward<F>(deliver));
+    }
+    // Dropped / partitioned: `deliver` stays with the caller, unrun.
+  }
 
   // ---------------------------------------------------- fault injection --
   /// Independent per-frame drop probability (0 disables).
@@ -57,6 +69,12 @@ class Fabric {
   static std::pair<HostId, HostId> ordered(HostId a, HostId b) {
     return a < b ? std::pair{a, b} : std::pair{b, a};
   }
+
+  /// Cost/fault bookkeeping for one frame: charges the egress port and
+  /// wire stats, rolls the drop dice, and returns the arrival instant —
+  /// or nullopt when the frame is dropped or the pair partitioned.
+  std::optional<sim::Time> plan_transmit(HostId src, HostId dst,
+                                         std::size_t payload_bytes);
 
   sim::Simulator* sim_;
   CostModel cost_;

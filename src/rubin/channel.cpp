@@ -101,8 +101,7 @@ void RdmaChannel::pump() {
     // unsignaled WR (selective signaling, §IV).
     bool matched_signaled = false;
     while (!outstanding_.empty()) {
-      const OutstandingSend done = outstanding_.front();
-      outstanding_.pop_front();
+      const OutstandingSend done = outstanding_.pop();
       ++reclaimed_wrs_;
       if (done.pool_slot >= 0) {
         send_pool_->release(static_cast<std::uint32_t>(done.pool_slot));
@@ -123,7 +122,7 @@ void RdmaChannel::pump() {
       state_ = State::kClosed;
       continue;
     }
-    filled_.push_back(
+    filled_.push(
         FilledRecv{static_cast<std::uint32_t>(c.wr_id), c.byte_len});
     ++stats_.messages_received;
   }
@@ -210,7 +209,7 @@ sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
       sends_since_signal_ < std::max<std::uint32_t>(cfg_.signal_interval, 1),
       "unsignaled send run exceeds the signal interval");
 
-  outstanding_.push_back(rec);
+  outstanding_.push(rec);
   ++posted_wrs_;
   RUBIN_AUDIT_ASSERT("channel", outstanding_.size() <= cfg_.buffer_count,
                      "outstanding WRs exceed the send queue depth (" +
@@ -276,7 +275,7 @@ sim::Task<std::size_t> RdmaChannel::read(MutByteView out) {
   if (out.size() < msg.len) {
     throw std::invalid_argument("RdmaChannel::read: output buffer too small");
   }
-  filled_.pop_front();
+  (void)filled_.pop();
 
   auto& sim = ctx_->simulator();
   const auto& cost = ctx_->cost();
@@ -342,13 +341,13 @@ void RdmaServerChannel::on_cm_event(const verbs::CmEvent& e) {
   if (closed_) return;
   switch (e.type) {
     case verbs::CmEventType::kConnectRequest:
-      pending_.push_back(e);
+      pending_.push(e);
       break;
     case verbs::CmEventType::kEstablished:
       if (auto it = accepting_.find(e.conn_id); it != accepting_.end()) {
         it->second->state_ = RdmaChannel::State::kEstablished;
         it->second->notify();
-        established_.push_back(std::move(it->second));
+        established_.push(std::move(it->second));
         accepting_.erase(it);
       }
       break;
@@ -367,8 +366,7 @@ void RdmaServerChannel::on_cm_event(const verbs::CmEvent& e) {
 
 std::shared_ptr<RdmaChannel> RdmaServerChannel::accept() {
   if (pending_.empty()) return nullptr;
-  const verbs::CmEvent req = pending_.front();
-  pending_.pop_front();
+  const verbs::CmEvent req = pending_.pop();
 
   auto channel = std::shared_ptr<RdmaChannel>(
       new RdmaChannel(*ctx_, ctx_->next_id(), cfg_));
@@ -381,8 +379,7 @@ std::shared_ptr<RdmaChannel> RdmaServerChannel::accept() {
 
 std::shared_ptr<RdmaChannel> RdmaServerChannel::next_established() {
   if (established_.empty()) return nullptr;
-  auto ch = std::move(established_.front());
-  established_.pop_front();
+  auto ch = established_.pop();
   return ch;
 }
 

@@ -16,13 +16,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/ring_buffer.hpp"
 #include "rubin/buffer_pool.hpp"
 #include "rubin/config.hpp"
 #include "sim/event.hpp"
@@ -145,7 +145,7 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   std::unique_ptr<BufferPool> send_pool_;
   std::unique_ptr<BufferPool> recv_pool_;
 
-  std::deque<OutstandingSend> outstanding_;
+  GrowingRing<OutstandingSend> outstanding_;
   /// Audit: work-request accounting. Every accepted send increments
   /// posted_wrs_; every reclaimed OutstandingSend increments
   /// reclaimed_wrs_. Invariant: outstanding_.size() == posted - reclaimed
@@ -156,7 +156,7 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   /// application thread; the next channel operation pays event_ack_cpu
   /// for each (selective signaling keeps this small).
   std::uint32_t unacked_events_ = 0;
-  std::deque<FilledRecv> filled_;
+  GrowingRing<FilledRecv> filled_;
   std::uint32_t sends_since_signal_ = 0;
   std::uint64_t conn_id_ = 0;  // CM connection, 0 until known
 
@@ -210,9 +210,9 @@ class RdmaServerChannel
   std::uint16_t port_;
   ChannelConfig cfg_;
   std::shared_ptr<verbs::CmListener> listener_;
-  std::deque<verbs::CmEvent> pending_;  // unaccepted kConnectRequest events
+  GrowingRing<verbs::CmEvent> pending_;  // unaccepted kConnectRequest events
   std::map<std::uint64_t, std::shared_ptr<RdmaChannel>> accepting_;
-  std::deque<std::shared_ptr<RdmaChannel>> established_;
+  GrowingRing<std::shared_ptr<RdmaChannel>> established_;
   std::function<void()> selector_notify_;
   bool closed_ = false;
 };

@@ -13,11 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "common/audit.hpp"
+#include "common/ring_buffer.hpp"
 #include "rubin/channel.hpp"
 #include "rubin/context.hpp"
 #include "sim/event.hpp"
@@ -90,14 +90,14 @@ class EventManager {
   explicit EventManager(sim::Simulator& sim) : wake_(sim) {}
 
   void push(HybridEvent e) {
-    queue_.push_back(e);
+    queue_.push(e);
     wake_.set();
   }
   std::size_t pending() const noexcept { return queue_.size(); }
 
  private:
   friend class RdmaSelector;
-  std::deque<HybridEvent> queue_;
+  GrowingRing<HybridEvent> queue_;
   sim::Event wake_;
 };
 

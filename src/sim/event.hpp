@@ -20,11 +20,12 @@ class Event {
   bool is_set() const noexcept { return set_; }
 
   /// Sets the event and schedules every current waiter for resumption at
-  /// the current instant. Idempotent while set.
+  /// the current instant (registration order, through the allocation-free
+  /// resume fast path). Idempotent while set.
   void set() {
     set_ = true;
     for (auto h : waiters_) {
-      sim_->post([h] { h.resume(); });
+      sim_->post_resume(h);
     }
     waiters_.clear();
   }

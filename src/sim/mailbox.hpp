@@ -10,10 +10,10 @@
 
 #include <cassert>
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
+#include "common/ring_buffer.hpp"
 #include "sim/simulator.hpp"
 
 namespace rubin::sim {
@@ -29,21 +29,18 @@ class Mailbox {
   bool empty() const noexcept { return items_.empty(); }
 
   /// Enqueues an item; wakes the waiting consumer (if any) via the event
-  /// queue at the current instant.
+  /// queue at the current instant (the allocation-free resume fast path).
   void push(T item) {
-    items_.push_back(std::move(item));
+    items_.push(std::move(item));
     if (waiter_) {
-      auto h = std::exchange(waiter_, nullptr);
-      sim_->post([h] { h.resume(); });
+      sim_->post_resume(std::exchange(waiter_, nullptr));
     }
   }
 
   /// Non-blocking receive.
   std::optional<T> try_pop() {
     if (items_.empty()) return std::nullopt;
-    T v = std::move(items_.front());
-    items_.pop_front();
-    return v;
+    return items_.pop();
   }
 
   /// Awaitable receive. Precondition: no other coroutine is waiting.
@@ -57,9 +54,7 @@ class Mailbox {
       }
       T await_resume() {
         assert(!mb->items_.empty());
-        T v = std::move(mb->items_.front());
-        mb->items_.pop_front();
-        return v;
+        return mb->items_.pop();
       }
     };
     return Awaiter{this};
@@ -67,7 +62,10 @@ class Mailbox {
 
  private:
   Simulator* sim_;
-  std::deque<T> items_;
+  // Ring, not deque: no allocation at construction or until the first
+  // push, and steady-state push/pop stay within one cache line of index
+  // arithmetic (DESIGN.md §5).
+  GrowingRing<T> items_;
   std::coroutine_handle<> waiter_ = nullptr;
 };
 

@@ -1,43 +1,166 @@
-// Move-only type-erased callable (std::move_only_function is C++23; this is
-// the 60-line C++20 subset we need). Event-queue entries capture coroutine
-// handles and moved-in state, so copyable std::function does not fit.
+// Move-only type-erased callable (std::move_only_function is C++23; this
+// is the C++20 subset we need) with small-buffer optimization: callables
+// up to kInlineSize bytes live inside the object, so the event queue's
+// dominant payloads — coroutine-handle wrappers and small capture lists —
+// never touch the heap. Larger callables fall back to a heap allocation
+// held through a unique_ptr constructed in the same buffer.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <type_traits>
 #include <utility>
+
+#include "common/audit.hpp"
 
 namespace rubin::sim {
 
 class UniqueFunction {
  public:
+  /// Inline storage: sized for the schedule-site lambdas this codebase
+  /// actually writes (a handle or `this` plus a few ids/times). Anything
+  /// bigger — e.g. a delivery action owning a payload vector plus
+  /// metadata — overflows to the heap.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
   UniqueFunction() = default;
 
   template <typename F>
     requires(!std::is_same_v<std::decay_t<F>, UniqueFunction>)
-  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function
-      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    emplace(std::forward<F>(f));
+  }
 
-  UniqueFunction(UniqueFunction&&) noexcept = default;
-  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  /// Constructs a callable directly into this object (destroying any
+  /// previous one). The simulator's schedule fast path uses this to build
+  /// the callable in its final slot, with no intermediate moves.
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, UniqueFunction>)
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if (ops_ != nullptr) ops_->destroy(buf_);
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+      RUBIN_AUDIT_COUNT("sim.uf.inline", 1);
+    } else {
+      using Holder = std::unique_ptr<D>;
+      ::new (static_cast<void*>(buf_))
+          Holder(std::make_unique<D>(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+      RUBIN_AUDIT_COUNT("sim.uf.heap", 1);
+    }
+  }
+
+  /// Destroys the held callable (no-op when empty), leaving *this empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& o) noexcept
+      : ops_(std::exchange(o.ops_, nullptr)) {
+    if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+  }
+
+  UniqueFunction& operator=(UniqueFunction&& o) noexcept {
+    if (this != &o) {
+      if (ops_ != nullptr) ops_->destroy(buf_);
+      ops_ = std::exchange(o.ops_, nullptr);
+      if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+    }
+    return *this;
+  }
+
   UniqueFunction(const UniqueFunction&) = delete;
   UniqueFunction& operator=(const UniqueFunction&) = delete;
 
-  explicit operator bool() const noexcept { return impl_ != nullptr; }
+  ~UniqueFunction() {
+    if (ops_ != nullptr) ops_->destroy(buf_);
+  }
 
-  void operator()() { impl_->call(); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer (tests).
+  bool is_inline() const noexcept { return ops_ != nullptr && !ops_->heap; }
+
+  void operator()() { ops_->call(buf_); }
+
+  /// Invokes the held callable and destroys it in one indirect call (the
+  /// event-dispatch fast path: a fired callback never runs twice, so call
+  /// and teardown always pair). Leaves *this empty; the callable is
+  /// destroyed even if it throws.
+  void call_and_destroy() {
+    const Ops* ops = std::exchange(ops_, nullptr);
+    ops->call_destroy(buf_);
+  }
 
  private:
-  struct Concept {
-    virtual ~Concept() = default;
-    virtual void call() = 0;
+  /// Per-callable-type dispatch table; one static instance per F, so the
+  /// object itself carries a single pointer of type overhead.
+  struct Ops {
+    void (*call)(void* self);
+    /// Invokes *self, then destroys it (even on exception).
+    void (*call_destroy)(void* self);
+    /// Move-constructs *dst from *src, then destroys *src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool heap;
   };
+
   template <typename F>
-  struct Model final : Concept {
-    explicit Model(F f) : fn(std::move(f)) {}
-    void call() override { fn(); }
-    F fn;
+  static constexpr bool kFitsInline =
+      sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  /// Destroys *f when the enclosing scope exits (guards call_destroy
+  /// against throwing callables without a try/catch).
+  template <typename F>
+  struct DestroyGuard {
+    F* f;
+    ~DestroyGuard() { f->~F(); }
   };
-  std::unique_ptr<Concept> impl_;
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*static_cast<F*>(self))(); },
+      [](void* self) {
+        F* f = static_cast<F*>(self);
+        DestroyGuard<F> guard{f};
+        (*f)();
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) F(std::move(*static_cast<F*>(src)));
+        static_cast<F*>(src)->~F();
+      },
+      [](void* self) noexcept { static_cast<F*>(self)->~F(); },
+      false,
+  };
+
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**static_cast<std::unique_ptr<F>*>(self))(); },
+      [](void* self) {
+        auto* holder = static_cast<std::unique_ptr<F>*>(self);
+        DestroyGuard<std::unique_ptr<F>> guard{holder};
+        (**holder)();
+      },
+      [](void* dst, void* src) noexcept {
+        auto* from = static_cast<std::unique_ptr<F>*>(src);
+        ::new (dst) std::unique_ptr<F>(std::move(*from));
+        from->~unique_ptr();
+      },
+      [](void* self) noexcept {
+        static_cast<std::unique_ptr<F>*>(self)->~unique_ptr();
+      },
+      true,
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
 };
 
 }  // namespace rubin::sim

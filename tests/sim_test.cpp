@@ -2,9 +2,11 @@
 // event ordering, task composition, Event and Mailbox primitives.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "sim/event.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/simulator.hpp"
@@ -78,6 +80,59 @@ TEST(Simulator, CancelOneOfMany) {
   sim.cancel(id);
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, CancelAfterFireIsNoOpAndDoesNotGrowState) {
+  // PR-2 regression: cancelling an already-fired timer used to leave a
+  // tombstone in the cancelled-id set forever. With generation-checked
+  // slots it must be a guaranteed no-op, and the slot pool must stay at
+  // its steady-state size (bounded by *concurrently pending* timers, not
+  // by total cancel-after-fire traffic).
+  Simulator sim;
+  std::vector<TimerId> ids;
+  for (int round = 0; round < 10'000; ++round) {
+    ids.push_back(sim.schedule_after(1, [] {}));
+  }
+  sim.run();
+  const std::size_t capacity_after_burst = sim.timer_slot_capacity();
+  for (const TimerId id : ids) sim.cancel(id);  // all already fired
+  for (int round = 0; round < 10'000; ++round) {
+    const TimerId id = sim.schedule_after(1, [] {});
+    sim.run();
+    sim.cancel(id);  // after fire: stale generation, O(1) no-op
+  }
+  EXPECT_EQ(sim.timer_slot_capacity(), capacity_after_burst);
+  // A stale cancel must not touch the slot's new occupant.
+  bool fired = false;
+  sim.schedule_after(1, [&] { fired = true; });
+  for (const TimerId id : ids) sim.cancel(id);
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(sim.validate_heap());
+}
+
+TEST(Simulator, ValidateHeapAtCheckpoints) {
+  // Drive every queue the kernel has — heap, sorted run, same-instant
+  // ring — and audit the full structure between bursts.
+  Simulator sim;
+  Rng rng{0xc0ffee};
+  std::vector<TimerId> pending;
+  for (int burst = 0; burst < 50; ++burst) {
+    for (int i = 0; i < 40; ++i) {
+      // Mix of monotone appends (sorted run), out-of-order pushes
+      // (heap) and same-instant posts (ring).
+      const Time delay = static_cast<Time>(rng.next_below(500));
+      pending.push_back(sim.schedule_after(delay, [] {}));
+    }
+    if (!pending.empty()) {
+      sim.cancel(pending[pending.size() / 2]);  // some cancelled-in-place
+    }
+    ASSERT_TRUE(sim.validate_heap());
+    sim.run_for(200);
+    ASSERT_TRUE(sim.validate_heap());
+  }
+  sim.run();
+  EXPECT_TRUE(sim.validate_heap());
 }
 
 TEST(Simulator, RunUntilStopsAtDeadline) {
@@ -340,6 +395,108 @@ TEST(SimMailbox, BurstThenDrain) {
   ASSERT_EQ(got.size(), 100u);
   EXPECT_EQ(got.front(), 0);
   EXPECT_EQ(got.back(), 99);
+}
+
+// -------------------------------------------------- determinism digest --
+
+// FNV-1a over a stream of 64-bit words. Any reordering, extra event, or
+// virtual-time drift in the kernel changes the digest.
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Fixed-seed kernel workload exercising every scheduling path: timed
+// callbacks, posts at the current instant, coroutine sleeps, Mailbox
+// wakeups, Event broadcast, cancellation (pending *and* already fired),
+// and run_until phase boundaries. Returns a digest of every echo latency
+// plus the final clock and event count.
+std::uint64_t kernel_determinism_digest() {
+  Simulator sim;
+  Rng rng(0xD5E7C0DEULL);
+  Mailbox<int> req(sim);
+  Mailbox<int> rep(sim);
+  Event phase(sim);
+  std::vector<Time> latencies;
+
+  // Echo server: pseudo-random service time per request.
+  sim.spawn([](Simulator& s, Mailbox<int>& in, Mailbox<int>& out,
+               Rng& r) -> Task<> {
+    for (int i = 0; i < 200; ++i) {
+      const int x = co_await in.recv();
+      co_await s.sleep(static_cast<Time>(r.next_below(500)));
+      out.push(x + 1);
+    }
+  }(sim, req, rep, rng));
+
+  // Closed-loop client measuring echo latencies.
+  sim.spawn([](Simulator& s, Mailbox<int>& out, Mailbox<int>& in, Rng& r,
+               std::vector<Time>& lat, Event& go) -> Task<> {
+    co_await go.wait();
+    for (int i = 0; i < 200; ++i) {
+      co_await s.sleep(static_cast<Time>(r.next_below(300)));
+      const Time sent = s.now();
+      out.push(i);
+      (void)co_await in.recv();
+      lat.push_back(s.now() - sent);
+    }
+  }(sim, req, rep, rng, latencies, phase));
+
+  // Broadcast waiters sharing one Event (wake order must be stable).
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn([](Event& e, int& count) -> Task<> {
+      co_await e.wait();
+      ++count;
+    }(phase, woken));
+  }
+
+  // Timer churn: schedule at pseudo-random times, cancel ~every third
+  // pending timer, and cancel a handful of *already fired* ids per round.
+  std::vector<TimerId> fired_ids;
+  int timer_hits = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<TimerId> pending;
+    pending.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      const Time t = sim.now() + static_cast<Time>(rng.next_below(2000));
+      pending.push_back(sim.schedule_at(t, [&timer_hits] { ++timer_hits; }));
+    }
+    for (std::size_t i = 0; i < pending.size(); i += 3) sim.cancel(pending[i]);
+    for (const TimerId id : fired_ids) sim.cancel(id);  // stale: must no-op
+    fired_ids.assign(pending.begin() + 1, pending.begin() + 8);
+    sim.run_until(sim.now() + 1500);  // leaves some timers pending
+  }
+  phase.set();
+  sim.run();
+
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const Time t : latencies) h = fnv_mix(h, static_cast<std::uint64_t>(t));
+  h = fnv_mix(h, static_cast<std::uint64_t>(sim.now()));
+  h = fnv_mix(h, sim.events_processed());
+  h = fnv_mix(h, static_cast<std::uint64_t>(timer_hits));
+  h = fnv_mix(h, static_cast<std::uint64_t>(woken));
+  h = fnv_mix(h, static_cast<std::uint64_t>(latencies.size()));
+  return h;
+}
+
+// Golden digest recorded from the pre-fast-path kernel (PR 1 tree). The
+// same constant is asserted in every build preset — relwithdebinfo,
+// asan-ubsan and release-noaudit must all produce bit-identical virtual
+// time, event ordering and latencies, and the allocation-free fast paths
+// must not change any of them.
+TEST(SimDeterminism, KernelDigestMatchesGolden) {
+  const std::uint64_t digest = kernel_determinism_digest();
+  EXPECT_EQ(digest, 0x44aaa642c0a9e5f7ULL) << "digest=0x" << std::hex << digest;
+}
+
+// Two runs in one process (fresh Simulator each) must agree exactly —
+// guards against any hidden global state in the kernel.
+TEST(SimDeterminism, RepeatedRunsAgree) {
+  EXPECT_EQ(kernel_determinism_digest(), kernel_determinism_digest());
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+// Lifetime tests for sim::UniqueFunction, the SBO type-erased callable
+// backing the simulator's timer slots: inline vs heap storage selection,
+// move semantics (relocation, self-containedness), exact construct/destroy
+// pairing, and the fused call_and_destroy dispatch path.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/unique_function.hpp"
+
+namespace rubin::sim {
+namespace {
+
+/// Counts constructions/destructions of every live instance so tests can
+/// assert exact pairing (no double-destroy, no leak) across moves.
+struct LifetimeProbe {
+  static int live;
+  static int total_constructed;
+  static void reset() { live = total_constructed = 0; }
+
+  LifetimeProbe() noexcept { track(); }
+  LifetimeProbe(const LifetimeProbe&) noexcept { track(); }
+  LifetimeProbe(LifetimeProbe&&) noexcept { track(); }
+  ~LifetimeProbe() { --live; }
+
+ private:
+  static void track() {
+    ++live;
+    ++total_constructed;
+  }
+};
+int LifetimeProbe::live = 0;
+int LifetimeProbe::total_constructed = 0;
+
+TEST(UniqueFunction, EmptyByDefault) {
+  UniqueFunction fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.is_inline());
+}
+
+TEST(UniqueFunction, SmallCaptureStaysInline) {
+  int hits = 0;
+  UniqueFunction fn{[&hits] { ++hits; }};
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, LargeCaptureGoesToHeap) {
+  std::byte ballast[UniqueFunction::kInlineSize + 1]{};
+  int hits = 0;
+  UniqueFunction fn{[ballast, &hits] {
+    (void)ballast;
+    ++hits;
+  }};
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, BoundaryCaptureIsExactlyInline) {
+  // A capture of exactly kInlineSize bytes must still fit inline.
+  std::byte ballast[UniqueFunction::kInlineSize - sizeof(int*)]{};
+  int hits = 0;
+  int* hit_ptr = &hits;
+  UniqueFunction fn{[ballast, hit_ptr] {
+    (void)ballast;
+    ++*hit_ptr;
+  }};
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, MoveConstructTransfersInlineCallable) {
+  LifetimeProbe::reset();
+  {
+    UniqueFunction a{[probe = LifetimeProbe{}] { (void)probe; }};
+    ASSERT_TRUE(a.is_inline());
+    UniqueFunction b{std::move(a)};
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.is_inline());
+    b();
+  }
+  EXPECT_EQ(LifetimeProbe::live, 0);
+}
+
+TEST(UniqueFunction, MoveAssignDestroysPreviousCallable) {
+  LifetimeProbe::reset();
+  {
+    UniqueFunction a{[probe = LifetimeProbe{}] { (void)probe; }};
+    UniqueFunction b{[probe = LifetimeProbe{}] { (void)probe; }};
+    const int live_before = LifetimeProbe::live;
+    b = std::move(a);  // b's old callable must be destroyed here
+    EXPECT_EQ(LifetimeProbe::live, live_before - 1);
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(b));
+  }
+  EXPECT_EQ(LifetimeProbe::live, 0);
+}
+
+TEST(UniqueFunction, MoveOfHeapCallableStealsPointer) {
+  LifetimeProbe::reset();
+  {
+    std::byte ballast[UniqueFunction::kInlineSize]{};
+    UniqueFunction a{[probe = LifetimeProbe{}, ballast] {
+      (void)probe;
+      (void)ballast;
+    }};
+    ASSERT_FALSE(a.is_inline());
+    const int constructed_before_move = LifetimeProbe::total_constructed;
+    UniqueFunction b{std::move(a)};
+    // A heap-held callable moves by pointer: no new probe instance.
+    EXPECT_EQ(LifetimeProbe::total_constructed, constructed_before_move);
+    b();
+  }
+  EXPECT_EQ(LifetimeProbe::live, 0);
+}
+
+TEST(UniqueFunction, ResetDestroysAndEmpties) {
+  LifetimeProbe::reset();
+  UniqueFunction fn{[probe = LifetimeProbe{}] { (void)probe; }};
+  EXPECT_GT(LifetimeProbe::live, 0);
+  fn.reset();
+  EXPECT_EQ(LifetimeProbe::live, 0);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn.reset();  // reset of empty is a no-op
+}
+
+TEST(UniqueFunction, EmplaceReplacesExistingCallable) {
+  LifetimeProbe::reset();
+  int hits = 0;
+  UniqueFunction fn{[probe = LifetimeProbe{}] { (void)probe; }};
+  fn.emplace([&hits] { ++hits; });
+  EXPECT_EQ(LifetimeProbe::live, 0);  // first callable destroyed
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, CallAndDestroyRunsOnceAndEmpties) {
+  LifetimeProbe::reset();
+  int hits = 0;
+  UniqueFunction fn{[probe = LifetimeProbe{}, &hits] {
+    (void)probe;
+    ++hits;
+  }};
+  fn.call_and_destroy();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(LifetimeProbe::live, 0);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(UniqueFunction, CallAndDestroyHeapCallable) {
+  LifetimeProbe::reset();
+  int hits = 0;
+  {
+    std::byte ballast[UniqueFunction::kInlineSize]{};
+    UniqueFunction fn{[probe = LifetimeProbe{}, ballast, &hits] {
+      (void)probe;
+      (void)ballast;
+      ++hits;
+    }};
+    ASSERT_FALSE(fn.is_inline());
+    fn.call_and_destroy();
+    EXPECT_FALSE(static_cast<bool>(fn));
+  }
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(LifetimeProbe::live, 0);
+}
+
+TEST(UniqueFunction, CallAndDestroyDestroysOnThrow) {
+  LifetimeProbe::reset();
+  UniqueFunction fn{[probe = LifetimeProbe{}] {
+    (void)probe;
+    throw std::runtime_error("boom");
+  }};
+  EXPECT_THROW(fn.call_and_destroy(), std::runtime_error);
+  // The callable (and its captures) must be destroyed even on the throw
+  // path, and the object left empty — dispatch never retries.
+  EXPECT_EQ(LifetimeProbe::live, 0);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(UniqueFunction, CapturedUniquePtrSurvivesMoves) {
+  auto value = std::make_unique<int>(42);
+  int observed = 0;
+  UniqueFunction a{[v = std::move(value), &observed] { observed = *v; }};
+  UniqueFunction b{std::move(a)};
+  UniqueFunction c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(UniqueFunction, ManyMovesPreserveCallable) {
+  // Relocation is destructive (move + destroy source); chain it through
+  // a vector reallocation-like shuffle to shake out double-destroys.
+  LifetimeProbe::reset();
+  {
+    int hits = 0;
+    UniqueFunction fn{[probe = LifetimeProbe{}, &hits] {
+      (void)probe;
+      ++hits;
+    }};
+    for (int i = 0; i < 16; ++i) {
+      UniqueFunction tmp{std::move(fn)};
+      fn = std::move(tmp);
+    }
+    fn();
+    EXPECT_EQ(hits, 1);
+  }
+  EXPECT_EQ(LifetimeProbe::live, 0);
+}
+
+}  // namespace
+}  // namespace rubin::sim
