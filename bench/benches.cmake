@@ -20,6 +20,8 @@ rubin_add_bench(bench_bft_e2e)
 rubin_add_bench(bench_cop_scaling)
 rubin_add_bench(bench_simkernel)
 target_link_libraries(bench_simkernel PRIVATE benchmark::benchmark)
+rubin_add_bench(bench_datapath)
+target_link_libraries(bench_datapath PRIVATE benchmark::benchmark)
 rubin_add_bench(bench_group_scaling)
 rubin_add_bench(bench_ablation_onesided)
 rubin_add_bench(bench_selector_scaling)

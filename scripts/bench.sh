@@ -8,6 +8,7 @@
 # BENCH_PR2.json in the repo root holds the PR-2 before/after pair.
 #
 # Usage: scripts/bench.sh [build-dir] [out.json]
+#        scripts/bench.sh ab <base-build-dir> <head-build-dir> [out.json]
 #   build-dir: configured *release-noaudit* build tree (default:
 #              ./build-release). Audit-enabled builds measure the audit
 #              layer, not the kernel — the script warns but proceeds.
@@ -17,9 +18,112 @@
 # tick), so each end-to-end harness runs $RUBIN_BENCH_REPS times (default
 # 5) and reports the *minimum* — the run least disturbed by neighbours.
 # The google-benchmark side already does its own repetition internally.
+#
+# A/B mode: compares two build trees of the same benchmarks (e.g. main vs
+# a perf branch). Runs are *interleaved* — base, head, base, head, … with
+# the order flipped every repetition — so slow drift in machine load hits
+# both sides equally instead of biasing whichever ran second. Reports the
+# best of $RUBIN_BENCH_REPS per side (BM_RdmaChannelEcho items/sec and
+# bench_bft_e2e wall seconds) plus head/base ratios. BENCH_PR3.json in
+# the repo root holds the PR-3 zero-copy before/after pair.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# ---------------------------------------------------------------- A/B mode ---
+
+if [ "${1:-}" = "ab" ]; then
+  BASE_DIR="${2:?bench.sh ab: missing base build dir}"
+  HEAD_DIR="${3:?bench.sh ab: missing head build dir}"
+  OUT="${4:-}"
+  REPS="${RUBIN_BENCH_REPS:-5}"
+  MIN_TIME="${RUBIN_BENCH_MIN_TIME:-0.1}"
+
+  for d in "$BASE_DIR" "$HEAD_DIR"; do
+    for bin in "$d/bench/bench_simkernel" "$d/bench/bench_bft_e2e"; do
+      [ -x "$bin" ] || { echo "bench.sh ab: missing $bin" >&2; exit 1; }
+    done
+  done
+
+  # Per-side accumulators: best (max) items/sec per echo size, best (min)
+  # wall seconds for the e2e bench. Plain files so the loop stays POSIX.
+  TMP=$(mktemp -d)
+  trap 'rm -rf "$TMP"' EXIT
+
+  run_side() { # $1=side-name $2=build-dir
+    side="$1"; dir="$2"
+    "$dir/bench/bench_simkernel" --benchmark_filter='BM_RdmaChannelEcho' \
+      --benchmark_min_time="$MIN_TIME" --benchmark_format=csv 2>/dev/null |
+      grep '^"BM_' | awk -F, -v f="$TMP/$side.echo" '
+        { gsub(/"/, "", $1); print $1, $7 >> f }'
+    start=$(date +%s.%N)
+    "$dir/bench/bench_bft_e2e" >/dev/null 2>&1
+    end=$(date +%s.%N)
+    awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f\n", b - a }' \
+      >> "$TMP/$side.e2e"
+  }
+
+  i=0
+  while [ "$i" -lt "$REPS" ]; do
+    if [ $((i % 2)) -eq 0 ]; then
+      run_side base "$BASE_DIR"; run_side head "$HEAD_DIR"
+    else
+      run_side head "$HEAD_DIR"; run_side base "$BASE_DIR"
+    fi
+    i=$((i + 1))
+  done
+
+  best_echo() { # $1=side $2=bench-name — max items/sec across reps
+    awk -v n="$2" '$1 == n && ($2 + 0 > best) { best = $2 + 0 }
+                   END { printf "%.0f", best }' "$TMP/$1.echo"
+  }
+  best_e2e() { # $1=side — min wall seconds across reps
+    sort -n "$TMP/$1.e2e" | head -1
+  }
+
+  ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", a / b }'; }
+
+  B1K=$(best_echo base 'BM_RdmaChannelEcho/1024')
+  B64K=$(best_echo base 'BM_RdmaChannelEcho/65536')
+  H1K=$(best_echo head 'BM_RdmaChannelEcho/1024')
+  H64K=$(best_echo head 'BM_RdmaChannelEcho/65536')
+  BE2E=$(best_e2e base)
+  HE2E=$(best_e2e head)
+
+  JSON=$(
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "host": "%s",\n' "$(uname -srm)"
+    printf '  "mode": "interleaved-ab",\n'
+    printf '  "reps": %s,\n' "$REPS"
+    printf '  "base_build_dir": "%s",\n' "$BASE_DIR"
+    printf '  "head_build_dir": "%s",\n' "$HEAD_DIR"
+    printf '  "base": {\n'
+    printf '    "rdma_channel_echo_1k_items_per_second": %s,\n' "$B1K"
+    printf '    "rdma_channel_echo_64k_items_per_second": %s,\n' "$B64K"
+    printf '    "bft_e2e_wall_seconds": %s\n' "$BE2E"
+    printf '  },\n'
+    printf '  "head": {\n'
+    printf '    "rdma_channel_echo_1k_items_per_second": %s,\n' "$H1K"
+    printf '    "rdma_channel_echo_64k_items_per_second": %s,\n' "$H64K"
+    printf '    "bft_e2e_wall_seconds": %s\n' "$HE2E"
+    printf '  },\n'
+    printf '  "head_over_base": {\n'
+    printf '    "rdma_channel_echo_1k": %s,\n' "$(ratio "$H1K" "$B1K")"
+    printf '    "rdma_channel_echo_64k": %s,\n' "$(ratio "$H64K" "$B64K")"
+    printf '    "bft_e2e_wall_speedup": %s\n' "$(ratio "$BE2E" "$HE2E")"
+    printf '  }\n'
+    printf '}\n'
+  )
+
+  if [ -n "$OUT" ]; then
+    printf '%s\n' "$JSON" >"$OUT"
+    echo "bench.sh: wrote $OUT" >&2
+  else
+    printf '%s\n' "$JSON"
+  fi
+  exit 0
+fi
 BUILD_DIR="${1:-build-release}"
 OUT="${2:-}"
 REPS="${RUBIN_BENCH_REPS:-5}"

@@ -1,0 +1,94 @@
+#include "common/shared_bytes.hpp"
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "common/audit.hpp"
+
+namespace rubin {
+
+SharedBytes SharedBytes::allocate(std::size_t n) {
+  if (n == 0) return {};
+  if (n > UINT32_MAX) {
+    throw std::length_error("SharedBytes::allocate: buffer too large");
+  }
+  auto* raw = static_cast<std::uint8_t*>(::operator new(sizeof(Ctrl) + n));
+  auto* ctrl = new (raw) Ctrl{1, static_cast<std::uint32_t>(n)};
+  return SharedBytes(ctrl, raw + sizeof(Ctrl), n);
+}
+
+SharedBytes SharedBytes::copy_of(ByteView src) {
+  SharedBytes out = allocate(src.size());
+  if (!src.empty()) {
+    RUBIN_AUDIT_COUNT("datapath.copy_bytes", src.size());
+    std::memcpy(out.mutable_data(), src.data(), src.size());
+  }
+  return out;
+}
+
+std::uint8_t* SharedBytes::mutable_data() noexcept {
+  // const_cast is confined here: the fill-then-publish window is the one
+  // moment the buffer is legitimately writable (sole owner, whole span).
+  RUBIN_AUDIT_ASSERT("shared_bytes",
+                     ctrl_ == nullptr ||
+                         (ctrl_->refs == 1 && size_ == ctrl_->capacity),
+                     "mutable_data on a shared or sliced buffer");
+  return const_cast<std::uint8_t*>(data_);
+}
+
+SharedBytes SharedBytes::slice(std::size_t offset, std::size_t len) const {
+  if (offset > size_ || len > size_ - offset) {
+    throw std::out_of_range("SharedBytes::slice: out of range");
+  }
+  if (len == 0) return {};
+  if (ctrl_ != nullptr) ++ctrl_->refs;
+  // Each slice is a payload reference that did *not* copy — the audit
+  // counterpart of datapath.copy_bytes.
+  RUBIN_AUDIT_COUNT("datapath.slices", 1);
+  return SharedBytes(ctrl_, data_ + offset, len);
+}
+
+void SharedBytes::release() noexcept {
+  if (ctrl_ == nullptr) return;
+  if (--ctrl_->refs == 0) {
+    ctrl_->~Ctrl();
+    ::operator delete(static_cast<void*>(ctrl_));
+  }
+  ctrl_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+}
+
+void FrameVec::append(SharedBytes s) {
+  if (s.empty()) return;
+  if (count_ == kInlineSlices) {
+    throw std::length_error("FrameVec::append: inline capacity exceeded");
+  }
+  total_ += s.size();
+  slices_[count_++] = std::move(s);
+}
+
+std::size_t FrameVec::copy_to(MutByteView out) const {
+  if (out.size() < total_) {
+    throw std::invalid_argument("FrameVec::copy_to: output too small");
+  }
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const SharedBytes& s = slices_[i];
+    RUBIN_AUDIT_COUNT("datapath.copy_bytes", s.size());
+    std::memcpy(out.data() + off, s.data(), s.size());
+    off += s.size();
+  }
+  return off;
+}
+
+SharedBytes FrameVec::flatten() const {
+  SharedBytes out = SharedBytes::allocate(total_);
+  if (total_ != 0) {
+    copy_to(MutByteView(out.mutable_data(), total_));
+  }
+  return out;
+}
+
+}  // namespace rubin

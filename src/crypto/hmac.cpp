@@ -8,7 +8,7 @@
 
 namespace rubin {
 
-Digest hmac_sha256(ByteView key, ByteView message) {
+HmacKey::HmacKey(ByteView key) {
   std::array<std::uint8_t, 64> block{};
   if (key.size() > block.size()) {
     const Digest kd = Sha256::hash(key);
@@ -23,23 +23,49 @@ Digest hmac_sha256(ByteView key, ByteView message) {
     ipad[i] = block[i] ^ 0x36;
     opad[i] = block[i] ^ 0x5c;
   }
+  inner_.update(ipad);
+  outer_.update(opad);
+}
 
-  Sha256 inner;
-  inner.update(ipad);
-  inner.update(message);
+Digest HmacKey::finish_outer(Sha256 inner) const {
   const Digest inner_digest = inner.finish();
-
-  Sha256 outer;
-  outer.update(opad);
+  Sha256 outer = outer_;  // resume the cached opad midstate
   outer.update(inner_digest);
   return outer.finish();
 }
 
-Mac truncated_mac(ByteView key, ByteView message) {
-  const Digest full = hmac_sha256(key, message);
+Digest HmacKey::mac(ByteView message) const {
+  Sha256 inner = inner_;  // resume the cached ipad midstate
+  inner.update(message);
+  return finish_outer(inner);
+}
+
+Digest HmacKey::mac(const FrameVec& frame) const {
+  Sha256 inner = inner_;
+  for (const SharedBytes& s : frame) inner.update(s.view());
+  return finish_outer(inner);
+}
+
+Mac HmacKey::truncated(ByteView message) const {
+  const Digest full = mac(message);
   Mac m;
   std::copy_n(full.begin(), m.size(), m.begin());
   return m;
+}
+
+Mac HmacKey::truncated(const FrameVec& frame) const {
+  const Digest full = mac(frame);
+  Mac m;
+  std::copy_n(full.begin(), m.size(), m.begin());
+  return m;
+}
+
+Digest hmac_sha256(ByteView key, ByteView message) {
+  return HmacKey(key).mac(message);
+}
+
+Mac truncated_mac(ByteView key, ByteView message) {
+  return HmacKey(key).truncated(message);
 }
 
 KeyTable::KeyTable(std::uint32_t self, std::uint32_t group_size,
@@ -49,6 +75,7 @@ KeyTable::KeyTable(std::uint32_t self, std::uint32_t group_size,
     throw std::invalid_argument("KeyTable: self index out of range");
   }
   keys_.reserve(group_size);
+  cached_.reserve(group_size);
   for (std::uint32_t peer = 0; peer < group_size; ++peer) {
     // Symmetric derivation: the pair is ordered (min, max) so both sides
     // compute the same key.
@@ -58,6 +85,7 @@ KeyTable::KeyTable(std::uint32_t self, std::uint32_t group_size,
     enc.put_raw(group_secret);
     const Digest d = Sha256::hash(enc.view());
     keys_.emplace_back(d.begin(), d.end());
+    cached_.emplace_back(keys_.back());
   }
 }
 
@@ -69,7 +97,17 @@ ByteView KeyTable::key_for(std::uint32_t peer) const {
 }
 
 Mac KeyTable::mac_for(std::uint32_t peer, ByteView message) const {
-  return truncated_mac(key_for(peer), message);
+  if (peer >= cached_.size()) {
+    throw std::out_of_range("KeyTable: peer index out of range");
+  }
+  return cached_[peer].truncated(message);
+}
+
+Mac KeyTable::mac_for(std::uint32_t peer, const FrameVec& message) const {
+  if (peer >= cached_.size()) {
+    throw std::out_of_range("KeyTable: peer index out of range");
+  }
+  return cached_[peer].truncated(message);
 }
 
 bool KeyTable::verify_from(std::uint32_t peer, ByteView message,

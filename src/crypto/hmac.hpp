@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/shared_bytes.hpp"
 #include "crypto/sha256.hpp"
 
 namespace rubin {
@@ -26,6 +27,30 @@ using Mac = std::array<std::uint8_t, 8>;
 
 Mac truncated_mac(ByteView key, ByteView message);
 
+/// HMAC key with its SHA-256 midstates precomputed: the ipad and opad
+/// blocks are absorbed once at construction, so each MAC costs two fewer
+/// compressions than a from-scratch keyed hash — the paper's session keys
+/// are long-lived while authenticators are per-message, so this is the
+/// right trade. Results are bit-identical to hmac_sha256().
+class HmacKey {
+ public:
+  explicit HmacKey(ByteView key);
+
+  Digest mac(ByteView message) const;
+  /// Incremental MAC over a scatter-gather frame: the slices are absorbed
+  /// in order without flattening.
+  Digest mac(const FrameVec& frame) const;
+
+  Mac truncated(ByteView message) const;
+  Mac truncated(const FrameVec& frame) const;
+
+ private:
+  Digest finish_outer(Sha256 inner) const;
+
+  Sha256 inner_;  // state after absorbing key ^ ipad
+  Sha256 outer_;  // state after absorbing key ^ opad
+};
+
 /// Symmetric pairwise session keys for a group of n nodes. Node i and node
 /// j share key derive(i, j) == derive(j, i). Derivation is from a group
 /// secret — stand-in for the key exchange a deployment would run.
@@ -39,8 +64,11 @@ class KeyTable {
   /// Session key shared with `peer`.
   ByteView key_for(std::uint32_t peer) const;
 
-  /// MAC of `message` for `peer`, keyed with the pairwise key.
+  /// MAC of `message` for `peer`, keyed with the pairwise key. Uses the
+  /// cached midstates — two compressions over the message hash instead of
+  /// a full keyed rehash.
   Mac mac_for(std::uint32_t peer, ByteView message) const;
+  Mac mac_for(std::uint32_t peer, const FrameVec& message) const;
 
   /// Verifies a MAC claimed to come from `peer`.
   bool verify_from(std::uint32_t peer, ByteView message, const Mac& mac) const;
@@ -51,7 +79,8 @@ class KeyTable {
 
  private:
   std::uint32_t self_;
-  std::vector<Bytes> keys_;  // keys_[j] = pairwise key with node j
+  std::vector<Bytes> keys_;      // keys_[j] = pairwise key with node j
+  std::vector<HmacKey> cached_;  // cached_[j] = midstates for keys_[j]
 };
 
 }  // namespace rubin

@@ -24,11 +24,11 @@ sim::Task<Bytes> Client::invoke(Bytes op) {
   // verify it when the primary (or a retransmission) relays it.
   co_await sim_->sleep(cfg_.costs.mac_time(req.op.size()) *
                        static_cast<sim::Time>(cfg_.n));
-  const Bytes frame =
+  const SharedBytes frame =
       encode_for_replicas(Envelope{cfg_.self, Message{req}}, keys_, cfg_.n);
 
   const sim::Time started = sim_->now();
-  transport_->send(primary_of(view_), Bytes(frame));
+  transport_->send(primary_of(view_), frame);
   ++stats_.requests_sent;
 
   sim::Time retry_at = sim_->now() + cfg_.retry_timeout;
@@ -41,7 +41,7 @@ sim::Task<Bytes> Client::invoke(Bytes op) {
     const auto msgs = co_await transport_->poll(wait);
     for (const InboundMsg& m : msgs) {
       co_await sim_->sleep(cfg_.costs.mac_time(m.frame.size()));
-      const auto env = decode_verified(m.frame, keys_);
+      const auto env = decode_verified(m.frame.view(), keys_);
       if (!env || !std::holds_alternative<Reply>(env->msg)) continue;
       const auto& reply = std::get<Reply>(env->msg);
       if (reply.client != cfg_.self || reply.request_id != id) continue;
@@ -57,7 +57,7 @@ sim::Task<Bytes> Client::invoke(Bytes op) {
     if (sim_->now() >= retry_at) {
       // Primary silent or reply lost: tell everyone (PBFT's retransmit —
       // backups forward to the primary and start their watchdogs).
-      for (NodeId r = 0; r < cfg_.n; ++r) transport_->send(r, Bytes(frame));
+      for (NodeId r = 0; r < cfg_.n; ++r) transport_->send(r, frame);
       ++stats_.retries;
       retry_at = sim_->now() + cfg_.retry_timeout;
     }
@@ -74,10 +74,10 @@ sim::Task<Bytes> Client::invoke_read_only(Bytes op) {
 
   co_await sim_->sleep(cfg_.costs.mac_time(req.op.size()) *
                        static_cast<sim::Time>(cfg_.n));
-  const Bytes frame =
+  const SharedBytes frame =
       encode_for_replicas(Envelope{cfg_.self, Message{req}}, keys_, cfg_.n);
   const sim::Time started = sim_->now();
-  for (NodeId r = 0; r < cfg_.n; ++r) transport_->send(r, Bytes(frame));
+  for (NodeId r = 0; r < cfg_.n; ++r) transport_->send(r, frame);
   ++stats_.requests_sent;
 
   // One shot: wait for a 2f+1 matching quorum until the deadline, then
@@ -90,7 +90,7 @@ sim::Task<Bytes> Client::invoke_read_only(Bytes op) {
     const auto msgs = co_await transport_->poll(wait);
     for (const InboundMsg& m : msgs) {
       co_await sim_->sleep(cfg_.costs.mac_time(m.frame.size()));
-      const auto env = decode_verified(m.frame, keys_);
+      const auto env = decode_verified(m.frame.view(), keys_);
       if (!env || !std::holds_alternative<Reply>(env->msg)) continue;
       const auto& reply = std::get<Reply>(env->msg);
       if (reply.client != cfg_.self || reply.request_id != id) continue;

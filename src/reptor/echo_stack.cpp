@@ -25,9 +25,10 @@ sim::Task<void> EchoClient::run() {
 
   auto send_one = [&] {
     // Message: u64 id then pattern filler.
-    Bytes msg = patterned_bytes(cfg_.payload, next_id);
+    SharedBytes msg = SharedBytes::copy_of(patterned_bytes(cfg_.payload, next_id));
+    std::uint8_t* data = msg.mutable_data();
     for (int i = 0; i < 8 && i < static_cast<int>(msg.size()); ++i) {
-      msg[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(next_id >> (8 * i));
+      data[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(next_id >> (8 * i));
     }
     in_flight[next_id] = sim_->now();
     transport_->send(cfg_.server, std::move(msg));
@@ -42,7 +43,7 @@ sim::Task<void> EchoClient::run() {
     for (const InboundMsg& m : msgs) {
       std::uint64_t id = 0;
       for (int i = 0; i < 8 && i < static_cast<int>(m.frame.size()); ++i) {
-        id |= static_cast<std::uint64_t>(m.frame[static_cast<std::size_t>(i)]) << (8 * i);
+        id |= static_cast<std::uint64_t>(m.frame.data()[static_cast<std::size_t>(i)]) << (8 * i);
       }
       const auto it = in_flight.find(id);
       if (it == in_flight.end()) continue;

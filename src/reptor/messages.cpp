@@ -255,13 +255,13 @@ Type type_of(const Message& m) {
       m);
 }
 
-/// The authenticated portion of a frame: type | sender | payload.
-Bytes authenticated_body(const Envelope& env) {
-  Encoder e;
+/// Encodes the authenticated portion of a frame (type | sender | payload)
+/// straight into `e`, which then grows the MAC trailer in place — one
+/// buffer end to end, no body staging copy.
+void put_authenticated_body(Encoder& e, const Envelope& env) {
   e.put_u8(static_cast<std::uint8_t>(type_of(env.msg)));
   e.put_u32(env.sender);
   encode_payload(e, env.msg);
-  return e.take();
 }
 
 }  // namespace
@@ -279,25 +279,30 @@ Digest request_digest(const Request& r) {
   return Sha256::hash(e.view());
 }
 
-Bytes encode_for_replicas(const Envelope& env, const KeyTable& keys,
-                          std::uint32_t replica_count) {
-  Bytes body = authenticated_body(env);
+SharedBytes encode_for_replicas(const Envelope& env, const KeyTable& keys,
+                                std::uint32_t replica_count) {
   Encoder e;
-  e.put_raw(body);
-  e.put_u8(static_cast<std::uint8_t>(replica_count));
+  put_authenticated_body(e, env);
+  // MAC the body *before* the trailer lands in the same buffer (the MACs
+  // cover exactly the bytes written so far).
+  std::vector<Mac> macs;
+  macs.reserve(replica_count);
   for (std::uint32_t r = 0; r < replica_count; ++r) {
-    e.put_raw(keys.mac_for(r, body));
+    macs.push_back(keys.mac_for(r, e.view()));
   }
-  return e.take();
+  e.put_u8(static_cast<std::uint8_t>(replica_count));
+  for (const Mac& m : macs) e.put_raw(m);
+  return e.take_shared();
 }
 
-Bytes encode_for_peer(const Envelope& env, const KeyTable& keys, NodeId peer) {
-  Bytes body = authenticated_body(env);
+SharedBytes encode_for_peer(const Envelope& env, const KeyTable& keys,
+                            NodeId peer) {
   Encoder e;
-  e.put_raw(body);
+  put_authenticated_body(e, env);
+  const Mac mac = keys.mac_for(peer, e.view());
   e.put_u8(1);
-  e.put_raw(keys.mac_for(peer, body));
-  return e.take();
+  e.put_raw(mac);
+  return e.take_shared();
 }
 
 namespace {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/shared_bytes.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 
@@ -130,12 +131,15 @@ Digest batch_digest(const std::vector<Request>& batch);
 Digest request_digest(const Request& r);
 
 /// Serializes `msg` and appends an authenticator with one MAC per replica
-/// (slots 0..replica_count-1 of the key table).
-Bytes encode_for_replicas(const Envelope& env, const KeyTable& keys,
-                          std::uint32_t replica_count);
+/// (slots 0..replica_count-1 of the key table). The frame comes back as a
+/// refcounted buffer: broadcasting it to n peers shares one allocation
+/// instead of copying it n times.
+SharedBytes encode_for_replicas(const Envelope& env, const KeyTable& keys,
+                                std::uint32_t replica_count);
 
 /// Serializes `msg` with a single MAC for `peer`.
-Bytes encode_for_peer(const Envelope& env, const KeyTable& keys, NodeId peer);
+SharedBytes encode_for_peer(const Envelope& env, const KeyTable& keys,
+                            NodeId peer);
 
 /// Parses and authenticates a frame. Returns nullopt on malformed input
 /// or MAC failure — a Byzantine peer's frame simply vanishes here, which

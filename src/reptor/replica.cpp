@@ -85,7 +85,7 @@ Replica::Replica(sim::Simulator& sim, std::unique_ptr<Transport> transport,
       lanes_exited_evt_(sim) {
   if (cfg_.pipelines == 0) cfg_.pipelines = 1;
   for (std::uint32_t i = 0; i < cfg_.pipelines; ++i) {
-    lane_in_.push_back(std::make_unique<sim::Mailbox<Bytes>>(sim));
+    lane_in_.push_back(std::make_unique<sim::Mailbox<SharedBytes>>(sim));
     lane_busy_.push_back(false);
   }
 }
@@ -106,7 +106,7 @@ sim::Task<void> Replica::run() {
 
   // Shut the lanes down (empty frame == sentinel) and wait them out so
   // their mailboxes outlive them.
-  for (auto& mb : lane_in_) mb->push(Bytes{});
+  for (auto& mb : lane_in_) mb->push(SharedBytes{});
   while (lanes_exited_ < cfg_.pipelines) {
     lanes_exited_evt_.reset();
     co_await lanes_exited_evt_.wait();
@@ -156,7 +156,7 @@ void Replica::route(InboundMsg msg) {
 
 sim::Task<void> Replica::lane_loop(std::uint32_t lane) {
   for (;;) {
-    Bytes frame = co_await lane_in_[lane]->recv();
+    SharedBytes frame = co_await lane_in_[lane]->recv();
     if (frame.empty()) break;  // shutdown sentinel
     lane_busy_[lane] = true;
     co_await handle_frame(std::move(frame));
@@ -180,10 +180,10 @@ sim::Task<void> Replica::lanes_idle() {
   }
 }
 
-sim::Task<void> Replica::handle_frame(Bytes frame) {
+sim::Task<void> Replica::handle_frame(SharedBytes frame) {
   // Authenticator verification burns a core for the MAC over the frame.
   co_await sim_->sleep(cfg_.costs.mac_time(frame.size()));
-  auto env = decode_verified(frame, keys_);
+  auto env = decode_verified(frame.view(), keys_);
   if (!env) {
     ++stats_.auth_failures;
     co_return;
@@ -216,7 +216,7 @@ sim::Task<void> Replica::handle_frame(Bytes frame) {
 // ------------------------------------------------------------ requests ---
 
 sim::Task<void> Replica::handle_request(const Envelope& env,
-                                        const Bytes& frame) {
+                                        const SharedBytes& frame) {
   const auto& req = std::get<Request>(env.msg);
   if (env.sender != req.client) co_return;  // spoofed origin
 
@@ -251,9 +251,9 @@ sim::Task<void> Replica::handle_request(const Envelope& env,
     // Backup: relay the request to the primary — the *original* frame, so
     // the client's own authenticator travels with it (our MACs could not
     // vouch for the client) — and start the "is the primary making
-    // progress?" watchdog.
+    // progress?" watchdog. Sharing the handle: no relay copy.
     if (awaiting_.insert({req.client, req.id}).second) {
-      transport_->send(primary_of(view_), Bytes(frame));
+      transport_->send(primary_of(view_), frame);
       arm_vc_timer();
     }
   }
@@ -525,7 +525,7 @@ void Replica::start_view_change(std::uint64_t target) {
   maybe_complete_view_change(target);
 }
 
-void Replica::handle_view_change(const Envelope& env, Bytes /*frame*/) {
+void Replica::handle_view_change(const Envelope& env, SharedBytes /*frame*/) {
   const auto& vc = std::get<ViewChange>(env.msg);
   if (vc.new_view <= view_) return;
   vc_msgs_[vc.new_view][env.sender] = vc;
@@ -648,14 +648,16 @@ void Replica::enter_view(std::uint64_t v) {
 // -------------------------------------------------------------- plumbing -
 
 void Replica::send_to_replicas(const Message& m) {
-  Bytes frame = encode_for_replicas(Envelope{cfg_.self, m}, keys_, cfg_.n);
+  SharedBytes frame = encode_for_replicas(Envelope{cfg_.self, m}, keys_, cfg_.n);
   if (cfg_.fault == FaultMode::kCorruptMacs) {
     // Garbage MACs toward even-numbered peers: the partial-authenticator
-    // attack. Slot r sits r*8 bytes into the MAC block at the tail.
+    // attack. Slot r sits r*8 bytes into the MAC block at the tail. The
+    // frame is still sole-owned here, so in-place mutation is safe.
     const std::size_t macs_off = frame.size() - cfg_.n * sizeof(Mac);
+    std::uint8_t* data = frame.mutable_data();
     for (NodeId r = 0; r < cfg_.n; r += 2) {
       if (r == cfg_.self) continue;
-      frame[macs_off + r * sizeof(Mac)] ^= 0xA5;
+      data[macs_off + r * sizeof(Mac)] ^= 0xA5;
     }
   }
   transport_->broadcast_replicas(frame);

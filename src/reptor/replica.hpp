@@ -147,8 +147,8 @@ class Replica {
 
   // Lane side (each handler charges its own CPU costs).
   sim::Task<void> lane_loop(std::uint32_t lane);
-  sim::Task<void> handle_frame(Bytes frame);
-  sim::Task<void> handle_request(const Envelope& env, const Bytes& frame);
+  sim::Task<void> handle_frame(SharedBytes frame);
+  sim::Task<void> handle_request(const Envelope& env, const SharedBytes& frame);
   sim::Task<void> handle_pre_prepare(const Envelope& env);
   void handle_prepare(const Envelope& env);
   void handle_commit(const Envelope& env);
@@ -157,7 +157,7 @@ class Replica {
                                 const std::pair<Digest, Digest>& digests);
   void handle_state_request(const Envelope& env);
   sim::Task<void> handle_state_response(const Envelope& env);
-  void handle_view_change(const Envelope& env, Bytes frame);
+  void handle_view_change(const Envelope& env, SharedBytes frame);
   sim::Task<void> handle_new_view(const Envelope& env);
 
   // Protocol actions.
@@ -221,7 +221,7 @@ class Replica {
   sim::Time vc_deadline_ = -1;
 
   // COP lanes.
-  std::vector<std::unique_ptr<sim::Mailbox<Bytes>>> lane_in_;
+  std::vector<std::unique_ptr<sim::Mailbox<SharedBytes>>> lane_in_;
   std::vector<bool> lane_busy_;
   sim::Event lanes_idle_evt_;
   std::uint32_t lanes_exited_ = 0;

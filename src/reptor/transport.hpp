@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/shared_bytes.hpp"
 #include "net/fabric.hpp"
 #include "reptor/messages.hpp"
 #include "sim/task.hpp"
@@ -41,7 +42,7 @@ struct GroupLayout {
 
 struct InboundMsg {
   NodeId peer = 0;
-  Bytes frame;
+  SharedBytes frame;
 };
 
 /// CPU the Reptor communication stack itself burns per protocol message
@@ -83,15 +84,16 @@ class Transport {
   void set_stack_cost(StackCost c) noexcept { stack_cost_ = c; }
   const StackCost& stack_cost() const noexcept { return stack_cost_; }
 
-  /// Queues a frame; actual I/O happens on the next poll().
-  void send(NodeId peer, Bytes frame) {
+  /// Queues a frame; actual I/O happens on the next poll(). The handle is
+  /// shared, never copied — a frame queued to n peers is one allocation.
+  void send(NodeId peer, SharedBytes frame) {
     outbound_[peer].push_back(std::move(frame));
   }
 
-  /// Queues a frame for every replica except self.
-  void broadcast_replicas(const Bytes& frame) {
+  /// Queues a frame for every replica except self (refcount bumps only).
+  void broadcast_replicas(const SharedBytes& frame) {
     for (NodeId r = 0; r < layout_.replica_count; ++r) {
-      if (r != self_) send(r, Bytes(frame));
+      if (r != self_) send(r, frame);
     }
   }
 
@@ -110,7 +112,7 @@ class Transport {
  protected:
   GroupLayout layout_;
   NodeId self_;
-  std::map<NodeId, std::deque<Bytes>> outbound_;
+  std::map<NodeId, std::deque<SharedBytes>> outbound_;
   TransportStats stats_;
   StackCost stack_cost_;
 };

@@ -137,7 +137,7 @@ void NioTransport::extract_frames(Conn& conn, std::uint64_t& attachment,
       ++stats_.frames_received;
       out.push_back(InboundMsg{
           static_cast<NodeId>(attachment - kAttachPeerBase),
-          Bytes(frame, frame + len)});
+          SharedBytes::copy_of(ByteView(frame, len))});
     }
     pos += 4 + len;
   }

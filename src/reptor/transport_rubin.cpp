@@ -31,8 +31,7 @@ RubinTransport::RubinTransport(nio::RubinContext& ctx, GroupLayout layout,
       ctx_(&ctx),
       ccfg_(ccfg),
       batch_limit_(batch_limit == 0 ? 1 : batch_limit),
-      selector_(ctx),
-      rx_buf_(ccfg.buffer_size) {}
+      selector_(ctx) {}
 
 bool RubinTransport::connected(NodeId peer) const {
   const auto it = conns_.find(peer);
@@ -53,7 +52,6 @@ void RubinTransport::adopt_channel(NodeId peer,
     // old channel and its selection key.
     if (auto* key = selector_.find_key(conn.channel->id())) key->cancel();
     conn.channel->close();
-    conn.in_flight.clear();
   }
   conn.channel = std::move(ch);
 }
@@ -63,7 +61,6 @@ void RubinTransport::redial(NodeId peer) {
   if (conn.channel) {
     if (auto* key = selector_.find_key(conn.channel->id())) key->cancel();
     conn.channel->close();
-    conn.in_flight.clear();
   }
   auto ch = ctx_->connect(layout_.hosts[peer], layout_.base_port, ccfg_);
   selector_.register_channel(ch, nio::kOpAccept | nio::kOpReceive,
@@ -98,7 +95,6 @@ sim::Task<void> RubinTransport::maintain_connections() {
       // replacement to arrive through the server channel.
       if (auto* key = selector_.find_key(conn.channel->id())) key->cancel();
       conn.channel.reset();
-      conn.in_flight.clear();
     }
   }
   co_return;
@@ -165,12 +161,15 @@ sim::Task<void> RubinTransport::drain_channel(nio::RdmaChannel& ch,
                                               NodeId attachment,
                                               std::vector<InboundMsg>& out) {
   for (;;) {
-    const std::size_t n = co_await ch.read(rx_buf_);
-    if (n == 0) break;
-    stats_.bytes_received += n;
+    // Frames arrive as refcounted handles straight off the receive pool —
+    // no per-frame copy into a reassembly buffer (RDMA is message-
+    // oriented, so each handle is one whole protocol frame).
+    SharedBytes frame = co_await ch.read_shared();
+    if (frame.empty()) break;
+    stats_.bytes_received += frame.size();
     if (attachment == kAttachUnidentified) {
       // First frame on an accepted connection: the peer's hello.
-      const NodeId peer = parse_hello(ByteView(rx_buf_).first(n));
+      const NodeId peer = parse_hello(frame.view());
       adopt_channel(peer, ch.shared_from_this());
       std::erase_if(unidentified_,
                     [&](const auto& c) { return c.get() == &ch; });
@@ -181,8 +180,7 @@ sim::Task<void> RubinTransport::drain_channel(nio::RdmaChannel& ch,
     }
     ++stats_.frames_received;
     out.push_back(InboundMsg{static_cast<NodeId>(attachment - kAttachPeerBase),
-                             Bytes(rx_buf_.begin(),
-                                   rx_buf_.begin() + static_cast<std::ptrdiff_t>(n))});
+                             std::move(frame)});
   }
   co_return;
 }
@@ -194,8 +192,9 @@ sim::Task<void> RubinTransport::flush() {
     if (it == conns_.end() || !connected(peer)) continue;
     Conn& conn = it->second;
     while (!queue.empty()) {
-      std::vector<ByteView> batch;
+      std::vector<SharedBytes> batch;
       const std::size_t take = std::min(batch_limit_, queue.size());
+      batch.reserve(take);
       for (std::size_t i = 0; i < take; ++i) batch.push_back(queue[i]);
       const std::size_t accepted =
           co_await conn.channel->write_batch(std::move(batch));
@@ -208,14 +207,8 @@ sim::Task<void> RubinTransport::flush() {
       for (std::size_t i = 0; i < accepted; ++i) {
         stats_.bytes_sent += queue.front().size();
         ++stats_.frames_sent;
-        // Zero-copy: the frame's bytes must outlive the WR; park them.
-        conn.in_flight.push_back(std::move(queue.front()));
+        // The WR holds its own reference to the frame; nothing to park.
         queue.pop_front();
-      }
-      // The send window is buffer_count WRs deep, so anything beyond
-      // 2x that depth has certainly completed — safe to retire.
-      while (conn.in_flight.size() > 2 * ccfg_.buffer_count) {
-        conn.in_flight.pop_front();
       }
       if (accepted < take) break;
     }

@@ -17,9 +17,10 @@ class RubinTransport final : public Transport {
   /// Default channel configuration for transports: protocol frames are
   /// transient heap buffers, so zero-copy send (which registers and
   /// caches the *application* buffer) would miss its cache on every
-  /// message and pay a full registration — the transport copies into the
-  /// pre-registered pool instead, exactly how the paper's Reptor
-  /// integration behaves (§IV).
+  /// message and pay a full registration — the transport stages through
+  /// the pre-registered pool instead, exactly how the paper's Reptor
+  /// integration behaves (§IV). (The pool-staging *charge* stays; the
+  /// physical memcpy is elided because frames travel as SharedBytes.)
   static nio::ChannelConfig default_config() {
     nio::ChannelConfig cfg;
     cfg.zero_copy_send = false;
@@ -41,10 +42,9 @@ class RubinTransport final : public Transport {
  private:
   struct Conn {
     std::shared_ptr<nio::RdmaChannel> channel;
-    /// Frames handed to write_batch but whose buffers must stay alive
-    /// until the data is on the wire (zero-copy contract). Retired
-    /// heuristically once the peer progressed (size-bounded ring).
-    std::deque<Bytes> in_flight;
+    // No in-flight parking list: frames are refcounted SharedBytes, and
+    // the work request itself keeps the payload alive until the NIC has
+    // transmitted it. The old heuristic retirement ring is gone.
     bool hello_sent = true;     // false while a (re)dialed hello is pending
     sim::Time dial_time = 0;    // last connect attempt (redial throttle)
   };
@@ -72,7 +72,6 @@ class RubinTransport final : public Transport {
   /// Protocol frames that arrived while start() was still establishing
   /// connections — surfaced by the first poll().
   std::vector<InboundMsg> early_inbound_;
-  Bytes rx_buf_;
 };
 
 }  // namespace rubin::reptor

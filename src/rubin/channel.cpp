@@ -51,13 +51,17 @@ void RdmaChannel::init_qp() {
       ctx_->pd(), cfg_.buffer_count, cfg_.buffer_size,
       verbs::kAccessLocalWrite);
 
-  // Pre-post the whole receive pool; wr_id == pool slot.
+  // Pre-post the whole receive pool; wr_id == pool slot. Channel receives
+  // capture the payload handle: the pool slot still backs the WR (flow
+  // control and all charges are pool-shaped), but the inbound bytes flow
+  // to read()/read_shared() without the physical DMA copy into the slot.
   std::vector<verbs::RecvWr> recvs;
   recvs.reserve(cfg_.buffer_count);
   for (std::uint32_t slot = 0; slot < cfg_.buffer_count; ++slot) {
     recvs.push_back(verbs::RecvWr{
-        slot, recv_pool_->sge(slot,
-                              static_cast<std::uint32_t>(cfg_.buffer_size))});
+        slot,
+        recv_pool_->sge(slot, static_cast<std::uint32_t>(cfg_.buffer_size)),
+        /*capture_payload=*/true});
   }
   (void)qp_->post_recv_now(std::move(recvs));
 
@@ -122,8 +126,8 @@ void RdmaChannel::pump() {
       state_ = State::kClosed;
       continue;
     }
-    filled_.push(
-        FilledRecv{static_cast<std::uint32_t>(c.wr_id), c.byte_len});
+    filled_.push(FilledRecv{static_cast<std::uint32_t>(c.wr_id), c.byte_len,
+                            c.payload});
     ++stats_.messages_received;
   }
   send_cq_->req_notify();
@@ -145,7 +149,9 @@ void RdmaChannel::notify() {
 }
 
 sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
+                                           const SharedBytes* handle,
                                            std::vector<verbs::SendWr>& out) {
+  const bool zero_copy = handle != nullptr && !handle->empty();
   auto& sim = ctx_->simulator();
   const auto& cost = ctx_->cost();
   if (msg.size() > cfg_.buffer_size) {
@@ -163,10 +169,13 @@ sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
       cfg_.inline_threshold > 0 && msg.size() <= cfg_.inline_threshold;
   OutstandingSend rec;
   if (inlined) {
-    // Inline: no pool buffer, no registration; the post copies the bytes.
+    // Inline: no pool buffer, no registration; the post copies the bytes
+    // (physically elided when a handle is attached — post_send still
+    // charges the WQE copy).
     wr.inline_data = true;
     wr.sge = verbs::Sge{reinterpret_cast<std::uint64_t>(msg.data()),
                         static_cast<std::uint32_t>(msg.size()), 0};
+    if (zero_copy) wr.shared_payload = *handle;
     ++stats_.inline_sends;
   } else if (cfg_.zero_copy_send) {
     // Register (or reuse) the application buffer itself (§IV).
@@ -181,13 +190,22 @@ sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
     wr.sge = verbs::Sge{reinterpret_cast<std::uint64_t>(msg.data()),
                         static_cast<std::uint32_t>(msg.size()),
                         cached->lkey()};
+    if (zero_copy) wr.shared_payload = *handle;
     ++stats_.zero_copy_sends;
   } else {
-    // Copy into a pooled, pre-registered buffer.
+    // Copy into a pooled, pre-registered buffer. The slot and the copy
+    // charge model DiSNI's staging; with a handle the physical memcpy is
+    // elided (the slot is still held for the WR's lifetime, so capacity
+    // behaves identically).
     const auto slot = send_pool_->acquire();
     if (!slot) co_return false;
     co_await sim.sleep(cost.copy_time(msg.size()));
-    std::memcpy(send_pool_->view(*slot).data(), msg.data(), msg.size());
+    if (zero_copy) {
+      wr.shared_payload = *handle;
+    } else {
+      RUBIN_AUDIT_COUNT("datapath.copy_bytes", msg.size());
+      std::memcpy(send_pool_->view(*slot).data(), msg.data(), msg.size());
+    }
     wr.sge = send_pool_->sge(*slot, static_cast<std::uint32_t>(msg.size()));
     rec.pool_slot = static_cast<std::int32_t>(*slot);
     ++stats_.pool_copy_sends;
@@ -226,6 +244,13 @@ sim::Task<std::size_t> RdmaChannel::write(ByteView msg) {
   co_return n == 1 ? msg.size() : 0;
 }
 
+sim::Task<std::size_t> RdmaChannel::write(SharedBytes msg) {
+  const std::size_t len = msg.size();
+  std::vector<SharedBytes> one{std::move(msg)};
+  const std::size_t n = co_await write_batch(std::move(one));
+  co_return n == 1 ? len : 0;
+}
+
 sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<ByteView> msgs) {
   co_await ack_events();
   pump();
@@ -244,7 +269,7 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<ByteView> msgs) {
   wrs.reserve(msgs.size());
   std::size_t accepted = 0;
   for (const ByteView msg : msgs) {
-    if (!co_await stage_message(msg, wrs)) break;
+    if (!co_await stage_message(msg, nullptr, wrs)) break;
     ++accepted;
   }
   if (wrs.empty()) {
@@ -262,6 +287,58 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<ByteView> msgs) {
   co_return accepted;
 }
 
+sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<SharedBytes> msgs) {
+  co_await ack_events();
+  pump();
+  RUBIN_AUDIT_ASSERT("channel",
+                     outstanding_.size() == posted_wrs_ - reclaimed_wrs_,
+                     "posted/reclaimed WR accounting diverged from the "
+                     "outstanding queue");
+  if (state_ != State::kEstablished || msgs.empty()) {
+    co_await ctx_->simulator().sleep(ctx_->cost().post_call_cpu);
+    co_return 0;
+  }
+
+  std::vector<verbs::SendWr> wrs;
+  wrs.reserve(msgs.size());
+  std::size_t accepted = 0;
+  for (const SharedBytes& msg : msgs) {
+    if (!co_await stage_message(msg.view(), &msg, wrs)) break;
+    ++accepted;
+  }
+  if (wrs.empty()) {
+    co_await ctx_->simulator().sleep(ctx_->cost().post_call_cpu);
+    co_return 0;
+  }
+
+  ++stats_.doorbells;
+  const verbs::PostResult r = co_await qp_->post_send(std::move(wrs));
+  if (r != verbs::PostResult::kOk) {
+    state_ = State::kClosed;
+    co_return 0;
+  }
+  co_return accepted;
+}
+
+sim::Task<void> RdmaChannel::finish_read(const FilledRecv& msg) {
+  auto& sim = ctx_->simulator();
+  const auto& cost = ctx_->cost();
+  if (!cfg_.zero_copy_receive) {
+    // The receive-side copy (paper §IV): DiSNI pool buffers and the
+    // application's buffers are incompatible, so received data is copied
+    // out. This is the measured large-message degradation in Figs. 3/4,
+    // and it stays *charged* even on handle-based reads — removing it is
+    // the paper's future work, gated behind zero_copy_receive.
+    co_await sim.sleep(cost.copy_time(msg.len));
+    ++stats_.receive_copies;
+  }
+  // Recycle the buffer: re-post the receive for this slot.
+  (void)co_await qp_->post_recv_one(verbs::RecvWr{
+      msg.slot,
+      recv_pool_->sge(msg.slot, static_cast<std::uint32_t>(cfg_.buffer_size)),
+      /*capture_payload=*/true});
+}
+
 sim::Task<std::size_t> RdmaChannel::read(MutByteView out) {
   co_await ack_events();
   pump();
@@ -277,22 +354,34 @@ sim::Task<std::size_t> RdmaChannel::read(MutByteView out) {
   }
   (void)filled_.pop();
 
-  auto& sim = ctx_->simulator();
-  const auto& cost = ctx_->cost();
-  if (!cfg_.zero_copy_receive) {
-    // The receive-side copy (paper §IV): DiSNI pool buffers and the
-    // application's buffers are incompatible, so received data is copied
-    // out. This is the measured large-message degradation in Figs. 3/4.
-    co_await sim.sleep(cost.copy_time(msg.len));
-    ++stats_.receive_copies;
-  }
-  std::memcpy(out.data(), recv_pool_->view(msg.slot).data(), msg.len);
-
-  // Recycle the buffer: re-post the receive for this slot.
-  (void)co_await qp_->post_recv_one(verbs::RecvWr{
-      msg.slot,
-      recv_pool_->sge(msg.slot, static_cast<std::uint32_t>(cfg_.buffer_size))});
+  RUBIN_AUDIT_COUNT("datapath.recv_copy_bytes", msg.len);
+  const std::uint8_t* src = msg.payload.empty()
+                                ? recv_pool_->view(msg.slot).data()
+                                : msg.payload.data();
+  std::memcpy(out.data(), src, msg.len);
+  co_await finish_read(msg);
   co_return msg.len;
+}
+
+sim::Task<SharedBytes> RdmaChannel::read_shared() {
+  co_await ack_events();
+  pump();
+  if (filled_.empty()) {
+    co_await ctx_->simulator().sleep(ctx_->cost().post_call_cpu);
+    co_return SharedBytes{};
+  }
+  FilledRecv msg = filled_.front();
+  (void)filled_.pop();
+
+  // Hand the captured payload straight out; fall back to a physical copy
+  // for receives that predate capture (cannot happen on this channel, but
+  // keeps the method total).
+  SharedBytes payload = std::move(msg.payload);
+  if (payload.empty() && msg.len > 0) {
+    payload = SharedBytes::copy_of(recv_pool_->view(msg.slot).first(msg.len));
+  }
+  co_await finish_read(msg);
+  co_return payload;
 }
 
 std::size_t RdmaChannel::readable_messages() noexcept {

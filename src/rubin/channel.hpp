@@ -23,6 +23,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ring_buffer.hpp"
+#include "common/shared_bytes.hpp"
 #include "rubin/buffer_pool.hpp"
 #include "rubin/config.hpp"
 #include "sim/event.hpp"
@@ -77,15 +78,31 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   /// is exactly the trade-off measured in Fig. 4.
   sim::Task<std::size_t> write(ByteView msg);
 
+  /// Zero-copy variant: the refcounted handle rides the WR all the way to
+  /// the peer, so neither the inline WQE copy, the pool-staging copy, nor
+  /// the NIC DMA snapshot is physically performed — their virtual-time
+  /// charges are unchanged. The buffer-lifetime caveat of zero_copy_send
+  /// disappears: the handle pins the payload until the NIC is done.
+  sim::Task<std::size_t> write(SharedBytes msg);
+
   /// Sends up to msgs.size() messages with a single doorbell (§IV batch
   /// posting); stops early when capacity runs out. Returns the number of
   /// messages accepted.
   sim::Task<std::size_t> write_batch(std::vector<ByteView> msgs);
 
+  /// Zero-copy batch; see write(SharedBytes).
+  sim::Task<std::size_t> write_batch(std::vector<SharedBytes> msgs);
+
   /// Receives one message into `out`. Returns its size, or 0 when no
   /// message is pending. Throws std::invalid_argument if `out` is smaller
   /// than the pending message (message-oriented, no partial reads).
   sim::Task<std::size_t> read(MutByteView out);
+
+  /// Receives one message as a refcounted handle (empty handle when no
+  /// message is pending). Identical virtual-time cost to read() — the
+  /// receive-side copy the paper measures is still *charged* under
+  /// !zero_copy_receive — but the physical copy-out is elided.
+  sim::Task<SharedBytes> read_shared();
 
   /// Messages currently buffered and readable without blocking.
   std::size_t readable_messages() noexcept;
@@ -127,11 +144,20 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   struct FilledRecv {
     std::uint32_t slot = 0;
     std::uint32_t len = 0;
+    /// Captured payload handle (channel receives always capture; the pool
+    /// slot stays claimed until re-posted but its bytes are not written).
+    SharedBytes payload;
   };
 
   /// Builds the WR for one message, charging the caller's CPU as needed.
-  /// Returns false when capacity is exhausted (nothing charged).
-  sim::Task<bool> stage_message(ByteView msg, std::vector<verbs::SendWr>& out);
+  /// Returns false when capacity is exhausted (nothing charged). When
+  /// `handle` is non-null and non-empty, the WR carries it as a zero-copy
+  /// payload (same charges, no physical staging copies).
+  sim::Task<bool> stage_message(ByteView msg, const SharedBytes* handle,
+                                std::vector<verbs::SendWr>& out);
+  /// Shared epilogue of read()/read_shared(): charges the receive-side
+  /// copy when configured and recycles the receive buffer.
+  sim::Task<void> finish_read(const FilledRecv& msg);
 
   RubinContext* ctx_;
   std::uint64_t id_;

@@ -1,8 +1,10 @@
 #include "tcpsim/tcp.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
+#include "common/audit.hpp"
 #include "tcpsim/poller.hpp"
 
 namespace rubin::tcpsim {
@@ -18,7 +20,10 @@ sim::Task<std::size_t> TcpSocket::write(ByteView data) {
   const std::size_t n = std::min(data.size(), writable_bytes());
   if (n == 0) co_return 0;
   co_await sim.sleep(cost.copy_time(n));
-  tx_.insert(tx_.end(), data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
+  // The user->kernel copy happens here (modeled above, physical below);
+  // everything downstream slices this chunk without copying again.
+  tx_.push_back(SharedBytes::copy_of(data.first(n)));
+  tx_size_ += n;
   pump_tx();
   co_return n;
 }
@@ -28,11 +33,24 @@ sim::Task<std::size_t> TcpSocket::read(MutByteView out) {
   const auto& cost = net_->cost();
   // recv(2): syscall entry + kernel->user copy of what is buffered.
   co_await sim.sleep(cost.kernel_crossing);
-  const std::size_t n = std::min(out.size(), rx_.size());
+  const std::size_t n = std::min(out.size(), rx_size_);
   if (n == 0) co_return 0;
   co_await sim.sleep(cost.copy_time(n));
-  std::copy_n(rx_.begin(), n, out.begin());
-  rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(n));
+  // Kernel->user copy: gather the queued segment slices into `out`.
+  RUBIN_AUDIT_COUNT("datapath.recv_copy_bytes", n);
+  std::size_t copied = 0;
+  while (copied < n) {
+    const SharedBytes& head = rx_.front();
+    const std::size_t take = std::min(head.size() - rx_head_off_, n - copied);
+    std::memcpy(out.data() + copied, head.data() + rx_head_off_, take);
+    copied += take;
+    rx_head_off_ += take;
+    if (rx_head_off_ == head.size()) {
+      rx_.pop_front();
+      rx_head_off_ = 0;
+    }
+  }
+  rx_size_ -= n;
   // Receive window opened: let the peer transmit more.
   if (auto peer = peer_.lock()) peer->pump_tx();
   co_return n;
@@ -41,7 +59,7 @@ sim::Task<std::size_t> TcpSocket::read(MutByteView out) {
 std::size_t TcpSocket::writable_bytes() const noexcept {
   if (state_ != State::kEstablished) return 0;
   const std::size_t cap = net_->buffer_capacity();
-  return cap > tx_.size() ? cap - tx_.size() : 0;
+  return cap > tx_size_ ? cap - tx_size_ : 0;
 }
 
 void TcpSocket::close() {
@@ -61,9 +79,10 @@ void TcpSocket::close() {
 
 TcpSocket::~TcpSocket() = default;
 
-void TcpSocket::on_segment(Bytes payload) {
-  rx_in_flight_ -= std::min(rx_in_flight_, payload.size());
-  rx_.insert(rx_.end(), payload.begin(), payload.end());
+void TcpSocket::on_segment(FrameVec payload) {
+  rx_in_flight_ -= std::min(rx_in_flight_, payload.total_size());
+  rx_size_ += payload.total_size();
+  for (const SharedBytes& s : payload) rx_.push_back(s);
   notify_poller();
 }
 
@@ -90,15 +109,59 @@ void TcpSocket::pump_tx() {
     // Flow control ("god view" of the receive window — we skip explicit
     // window-update frames; the sender sees how much receive buffer the
     // peer has free, counting bytes still on the wire).
-    const std::size_t used = peer->rx_.size() + peer->rx_in_flight_;
-    if (used >= cap || tx_.empty()) break;
-    const std::size_t n = std::min({tx_.size(), mtu, cap - used});
-    Bytes segment(tx_.begin(), tx_.begin() + static_cast<std::ptrdiff_t>(n));
-    tx_.erase(tx_.begin(), tx_.begin() + static_cast<std::ptrdiff_t>(n));
+    const std::size_t used = peer->rx_size_ + peer->rx_in_flight_;
+    if (used >= cap || tx_size_ == 0) break;
+    const std::size_t n = std::min({tx_size_, mtu, cap - used});
+
+    // A segment normally touches one write chunk, or two when it crosses
+    // a chunk boundary. Only a pathological many-tiny-writes pattern can
+    // exceed the FrameVec inline capacity; merge the buffer then (one
+    // physical copy) so chunk bookkeeping never changes segmentation.
+    {
+      std::size_t need = n, off = tx_head_off_, spans = 0;
+      for (const SharedBytes& c : tx_) {
+        if (need == 0) break;
+        need -= std::min(c.size() - off, need);
+        off = 0;
+        ++spans;
+      }
+      if (spans > FrameVec::kInlineSlices) coalesce_tx();
+    }
+
+    FrameVec segment;
+    std::size_t rem = n;
+    while (rem > 0) {
+      const SharedBytes& head = tx_.front();
+      const std::size_t take = std::min(head.size() - tx_head_off_, rem);
+      segment.append(head.slice(tx_head_off_, take));
+      rem -= take;
+      tx_head_off_ += take;
+      if (tx_head_off_ == head.size()) {
+        tx_.pop_front();
+        tx_head_off_ = 0;
+      }
+    }
+    tx_size_ -= n;
     peer->rx_in_flight_ += n;
     net_->send_segment(*this, std::move(segment));
   }
   notify_poller();  // tx space freed -> kWrite readiness may have changed
+}
+
+void TcpSocket::coalesce_tx() {
+  SharedBytes merged = SharedBytes::allocate(tx_size_);
+  std::uint8_t* dst = merged.mutable_data();
+  std::size_t pos = 0;
+  std::size_t off = tx_head_off_;
+  for (const SharedBytes& c : tx_) {
+    std::memcpy(dst + pos, c.data() + off, c.size() - off);
+    pos += c.size() - off;
+    off = 0;
+  }
+  RUBIN_AUDIT_COUNT("datapath.copy_bytes", pos);
+  tx_.clear();
+  tx_.push_back(std::move(merged));
+  tx_head_off_ = 0;
 }
 
 void TcpSocket::notify_poller() {
@@ -187,7 +250,7 @@ sim::Time TcpNetwork::kernel_stack_admit(net::HostId host, bool rx,
   return done;
 }
 
-void TcpNetwork::send_segment(TcpSocket& from, Bytes payload) {
+void TcpNetwork::send_segment(TcpSocket& from, FrameVec payload) {
   auto& sim = simulator();
   const net::HostId src = from.local_.host;
   const net::HostId dst = from.remote_.host;
@@ -198,7 +261,7 @@ void TcpNetwork::send_segment(TcpSocket& from, Bytes payload) {
   const sim::Time stack_done = kernel_stack_admit(src, /*rx=*/false, sim.now(), 1);
   sim.schedule_at(stack_done, [this, src, dst, dest,
                                payload = std::move(payload)]() mutable {
-    const std::size_t n = payload.size();
+    const std::size_t n = payload.total_size();
     fabric_->transmit(src, dst, n,
                       [this, dst, dest, payload = std::move(payload)]() mutable {
                         // RX: interrupt + softirq stack processing, then the

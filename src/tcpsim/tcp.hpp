@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "common/bytes.hpp"
+#include "common/shared_bytes.hpp"
 #include "net/fabric.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/task.hpp"
@@ -57,14 +58,14 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   sim::Task<std::size_t> read(MutByteView out);
 
   /// True once the peer closed and the receive buffer has drained.
-  bool eof() const noexcept { return remote_closed_ && rx_.empty(); }
+  bool eof() const noexcept { return remote_closed_ && rx_size_ == 0; }
 
   /// Closes the write side and tears the connection down (models
   /// close(2); no half-open lingering).
   void close();
 
   /// Bytes currently readable / writable without blocking.
-  std::size_t readable_bytes() const noexcept { return rx_.size(); }
+  std::size_t readable_bytes() const noexcept { return rx_size_; }
   std::size_t writable_bytes() const noexcept;
 
   ~TcpSocket();
@@ -76,10 +77,11 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
 
   explicit TcpSocket(TcpNetwork& net) : net_(&net) {}
 
-  void on_segment(Bytes payload);
+  void on_segment(FrameVec payload);
   void on_established();
   void on_remote_closed();
   void pump_tx();            // drains tx_ into the fabric as segments
+  void coalesce_tx();        // merges tx_ chunks so a segment fits a FrameVec
   void notify_poller();
 
   TcpNetwork* net_;
@@ -87,8 +89,18 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   Endpoint local_{};
   Endpoint remote_{};
   State state_ = State::kConnecting;
-  std::deque<std::uint8_t> tx_;
-  std::deque<std::uint8_t> rx_;
+  /// Kernel socket buffers as chunked byte streams: each write lands one
+  /// refcounted chunk (the modeled user->kernel copy); segments slice the
+  /// chunks without further physical copies, and the receive side queues
+  /// the very same slices until read() gathers them out (the modeled
+  /// kernel->user copy). *_head_off_ is how far into the front chunk the
+  /// stream has been consumed; *_size_ the total buffered bytes.
+  std::deque<SharedBytes> tx_;
+  std::size_t tx_head_off_ = 0;
+  std::size_t tx_size_ = 0;
+  std::deque<SharedBytes> rx_;
+  std::size_t rx_head_off_ = 0;
+  std::size_t rx_size_ = 0;
   std::size_t rx_in_flight_ = 0;  // bytes sent by peer, not yet read by app
   bool remote_closed_ = false;
   bool fin_sent_ = false;
@@ -154,7 +166,7 @@ class TcpNetwork {
   sim::Time kernel_stack_admit(net::HostId host, bool rx, sim::Time ready,
                                std::size_t segments);
 
-  void send_segment(TcpSocket& from, Bytes payload);
+  void send_segment(TcpSocket& from, FrameVec payload);
   void send_control(net::HostId src, net::HostId dst,
                     sim::UniqueFunction action);
   std::uint16_t ephemeral_port(net::HostId host);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/audit.hpp"
+
 namespace rubin::verbs {
 
 const char* to_string(WcStatus s) noexcept {
@@ -107,13 +109,20 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
   // Inline data needs no memory registration — the CPU reads the user
   // buffer directly (IBV_SEND_INLINE ignores the lkey).
   sim::Time cpu = static_cast<sim::Time>(wrs.size()) * cm.wqe_build_cpu;
-  std::vector<Bytes> inline_payloads(wrs.size());
+  std::vector<SharedBytes> inline_payloads(wrs.size());
   for (std::size_t i = 0; i < wrs.size(); ++i) {
     const SendWr& wr = wrs[i];
     if (!wr.inline_data) continue;
     cpu += cm.copy_time(wr.sge.length);
-    const auto* src = reinterpret_cast<const std::uint8_t*>(wr.sge.addr);
-    inline_payloads[i].assign(src, src + wr.sge.length);
+    if (!wr.shared_payload.empty()) {
+      // The WQE copy is elided: the refcounted handle pins the payload
+      // until the NIC is done with it. The copy_time charge above stays —
+      // real inline posting pays it.
+      inline_payloads[i] = wr.shared_payload;
+    } else {
+      const auto* src = reinterpret_cast<const std::uint8_t*>(wr.sge.addr);
+      inline_payloads[i] = SharedBytes::copy_of(ByteView(src, wr.sge.length));
+    }
   }
   co_await sim.sleep(cpu);
 
@@ -168,8 +177,10 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
 
     // Snapshot the payload when the NIC actually reads it (zero-copy
     // semantics: mutating a registered send buffer before the WR
-    // completes is a data race, exactly as on hardware).
-    Bytes payload = std::move(inline_payloads[i]);
+    // completes is a data race, exactly as on hardware). With a
+    // shared_payload handle the snapshot is free: immutability means the
+    // bytes the NIC would DMA now are the bytes the handle already holds.
+    SharedBytes payload = std::move(inline_payloads[i]);
     auto self = weak_from_this();
     Device* rdev = remote_dev_;
     const std::uint32_t rqpn = remote_qpn_;
@@ -183,8 +194,12 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
                         true);
           return;
         }
-        payload.assign(m->data_at(wr.sge.addr),
-                       m->data_at(wr.sge.addr) + wr.sge.length);
+        if (!wr.shared_payload.empty()) {
+          payload = wr.shared_payload;
+        } else {
+          payload = SharedBytes::copy_of(
+              ByteView(m->data_at(wr.sge.addr), wr.sge.length));
+        }
       }
       const std::size_t wire_len =
           wr.opcode == Opcode::kRdmaRead ? 28 : payload.size();
@@ -259,7 +274,7 @@ void QueuePair::set_error() {
     const RecvWr wr = recv_queue_.front();
     recv_queue_.pop_front();
     complete_recv(Completion{wr.wr_id, Opcode::kRecv,
-                             WcStatus::kWorkRequestFlushed, 0, qpn_});
+                             WcStatus::kWorkRequestFlushed, 0, qpn_, {}});
   }
   inbound_.clear();
 }
@@ -290,7 +305,8 @@ void QueuePair::drain_inbound() {
 
     const MemoryRegion* mr = pd_->check_local(rwr.sge, /*need_write=*/true);
     auto fail_both = [&](WcStatus recv_status, WcStatus send_status) {
-      complete_recv(Completion{rwr.wr_id, Opcode::kRecv, recv_status, 0, qpn_});
+      complete_recv(
+          Completion{rwr.wr_id, Opcode::kRecv, recv_status, 0, qpn_, {}});
       set_error();
       if (auto sender = in.sender.lock()) {
         sim.schedule_after(cm.ack_latency, [sender, in_wr = in.sender_wr_id,
@@ -318,11 +334,23 @@ void QueuePair::drain_inbound() {
         done, [self, dst, in = std::move(in), rwr, len, &cm, &sim]() mutable {
           auto qp = self.lock();
           if (!qp || qp->state_ == QpState::kError) return;
-          std::memcpy(dst, in.payload.data(), in.payload.size());
-          sim.schedule_after(cm.cqe_cost, [self, rwr, len] {
+          // The DMA-write charge is already in `done`; the physical copy
+          // into the MR happens only when the receiver reads the MR bytes
+          // directly. capture_payload consumers get the handle instead.
+          SharedBytes captured;
+          if (rwr.capture_payload) {
+            captured = in.payload;
+          } else {
+            RUBIN_AUDIT_COUNT("datapath.recv_copy_bytes", in.payload.size());
+            std::memcpy(dst, in.payload.data(), in.payload.size());
+          }
+          sim.schedule_after(cm.cqe_cost,
+                             [self, rwr, len,
+                              captured = std::move(captured)]() mutable {
             if (auto q = self.lock()) {
               q->complete_recv(Completion{rwr.wr_id, Opcode::kRecv,
-                                          WcStatus::kSuccess, len, q->qpn_});
+                                          WcStatus::kSuccess, len, q->qpn_,
+                                          std::move(captured)});
             }
           });
           // RC ack completes the sender's WR.
@@ -366,9 +394,11 @@ void QueuePair::rnr_tick() {
 }
 
 void QueuePair::on_write_arrival(std::uint32_t rkey, std::uint64_t remote_addr,
-                                 Bytes payload,
+                                 SharedBytes payload,
                                  std::weak_ptr<QueuePair> sender,
                                  std::uint64_t wr_id, bool signaled) {
+  // One-sided writes always materialize into the target MR: the whole
+  // point of RDMA WRITE is that the responder reads those bytes directly.
   auto& sim = dev_->simulator();
   const auto& cm = dev_->cost();
   const MemoryRegion* mr =
@@ -474,7 +504,7 @@ void QueuePair::complete_send(std::uint64_t wr_id, Opcode op, WcStatus status,
   ++completed_ops_;
   reclaim_send_slot(signaled);
   if (signaled) {
-    send_cq_->push(Completion{wr_id, op, status, byte_len, qpn_});
+    send_cq_->push(Completion{wr_id, op, status, byte_len, qpn_, {}});
   }
   if (status != WcStatus::kSuccess) set_error();
 }

@@ -96,7 +96,7 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   /// One inbound two-sided message, possibly parked waiting for a receive
   /// WR (RNR). Kept in arrival order — RC delivers strictly in order.
   struct InboundSend {
-    Bytes payload;
+    SharedBytes payload;
     std::weak_ptr<QueuePair> sender;
     std::uint64_t sender_wr_id = 0;
     bool sender_signaled = false;
@@ -114,7 +114,7 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   // NIC-side handlers (scheduled by the sender's Device).
   void on_send_arrival(InboundSend in);
   void on_write_arrival(std::uint32_t rkey, std::uint64_t remote_addr,
-                        Bytes payload, std::weak_ptr<QueuePair> sender,
+                        SharedBytes payload, std::weak_ptr<QueuePair> sender,
                         std::uint64_t wr_id, bool signaled);
   void on_read_request(std::uint64_t remote_addr, std::uint32_t rkey,
                        std::uint32_t length, std::weak_ptr<QueuePair> sender,

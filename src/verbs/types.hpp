@@ -6,6 +6,8 @@
 
 #include <cstdint>
 
+#include "common/shared_bytes.hpp"
+
 namespace rubin::verbs {
 
 /// Memory-region access permissions (ibv_access_flags).
@@ -48,12 +50,27 @@ struct SendWr {
   /// Target for RDMA read/write.
   std::uint64_t remote_addr = 0;
   std::uint32_t rkey = 0;
+  /// Zero-copy send: when set (for kSend), the NIC transmits this
+  /// refcounted buffer instead of snapshotting the MR bytes at DMA time.
+  /// The sge still describes a valid registered region of the same length
+  /// (protection checks and all virtual-time charges are unchanged); only
+  /// the physical memcpy at the DMA point is elided. The immutability
+  /// contract of SharedBytes supplies the "don't touch the buffer until
+  /// completion" rule that hardware zero-copy already imposes.
+  SharedBytes shared_payload;
 };
 
 /// Receive-queue work request.
 struct RecvWr {
   std::uint64_t wr_id = 0;
   Sge sge;
+  /// Zero-copy receive: deliver the inbound payload as a refcounted handle
+  /// on the completion instead of physically DMA-copying it into the MR
+  /// bytes. All checks and virtual-time charges (match, DMA, CQE) are
+  /// unchanged; the MR region backing the sge is still claimed for the
+  /// message's lifetime, its bytes just stay stale. Consumers that read
+  /// the MR memory directly must leave this false.
+  bool capture_payload = false;
 };
 
 /// Completion status (subset of ibv_wc_status).
@@ -77,6 +94,9 @@ struct Completion {
   WcStatus status = WcStatus::kSuccess;
   std::uint32_t byte_len = 0;  // bytes received (recv/read completions)
   std::uint32_t qp_num = 0;
+  /// Receive payload handle, set only for recv completions whose RecvWr
+  /// asked for capture_payload. Empty otherwise.
+  SharedBytes payload;
 };
 
 /// Queue-pair capabilities (ibv_qp_cap).

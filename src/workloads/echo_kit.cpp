@@ -423,7 +423,7 @@ EchoPoint run_channel_echo_windowed(const EchoParams& p,
   sim.spawn([](sim::Simulator& sim, std::shared_ptr<nio::RdmaChannel> ch,
                const EchoParams& p, std::uint32_t window, LatencyRecorder& lat,
                Time& started, Time& finished, bool& up) -> Task<> {
-    const Bytes msg = patterned_bytes(p.payload, 1);
+    const SharedBytes msg = SharedBytes::copy_of(patterned_bytes(p.payload, 1));
     Bytes rx(std::max<std::size_t>(p.payload, 4096));
     started = sim.now();
     int sent = 0;
@@ -507,7 +507,10 @@ EchoPoint run_channel_echo(const EchoParams& p, nio::ChannelConfig cfg) {
   sim.spawn([](sim::Simulator& sim, std::shared_ptr<nio::RdmaChannel> ch,
                const EchoParams& p, LatencyRecorder& lat, Time& started,
                Time& finished, bool& up) -> Task<> {
-    const Bytes msg = patterned_bytes(p.payload, 1);
+    // One stable refcounted buffer for every send: the zero-copy MR cache
+    // stays warm (single registration) and the handle rides each WR with
+    // no physical staging or NIC-snapshot copies.
+    const SharedBytes msg = SharedBytes::copy_of(patterned_bytes(p.payload, 1));
     Bytes rx(std::max<std::size_t>(p.payload, 4096));
     started = sim.now();
     for (int i = 0; i < p.messages; ++i) {

@@ -136,6 +136,86 @@ TEST(Hmac, TruncatedMacIsPrefix) {
   EXPECT_TRUE(std::equal(mac.begin(), mac.end(), full.begin()));
 }
 
+// ------------------------------------------------- HMAC midstate cache ---
+// The cached ipad/opad midstates must be bit-identical to a from-scratch
+// keyed hash — checked against the same RFC 4231 vectors as above.
+
+TEST(HmacKey, MidstateMatchesRfc4231Vectors) {
+  struct Case {
+    Bytes key;
+    Bytes msg;
+  };
+  const Case cases[] = {
+      {Bytes(20, 0x0b), to_bytes("Hi There")},
+      {to_bytes("Jefe"), to_bytes("what do ya want for nothing?")},
+      {Bytes(20, 0xaa), Bytes(50, 0xdd)},
+      // Long key: hashed down before the pads — the midstates must bake
+      // in the hashed key, not the raw one.
+      {Bytes(131, 0xaa),
+       to_bytes("Test Using Larger Than Block-Size Key - Hash Key First")},
+  };
+  for (const Case& c : cases) {
+    const HmacKey cached(c.key);
+    EXPECT_EQ(to_hex(cached.mac(c.msg)), to_hex(hmac_sha256(c.key, c.msg)));
+    const Mac t = cached.truncated(c.msg);
+    const Mac ref = truncated_mac(c.key, c.msg);
+    EXPECT_TRUE(std::equal(t.begin(), t.end(), ref.begin()));
+  }
+}
+
+TEST(HmacKey, IncrementalFrameVecMatchesFlatMessage) {
+  const Bytes key = to_bytes("session-key");
+  const Bytes msg = patterned_bytes(300, 42);
+  const HmacKey k(key);
+
+  // Slice the message three ways; the scatter-gather MAC must equal the
+  // contiguous one regardless of where the cuts fall.
+  const SharedBytes whole = SharedBytes::copy_of(msg);
+  for (std::size_t cut : {1ul, 63ul, 64ul, 65ul, 299ul}) {
+    FrameVec f;
+    f.append(whole.slice(0, cut));
+    f.append(whole.slice(cut));
+    EXPECT_EQ(to_hex(k.mac(f)), to_hex(k.mac(msg))) << "cut at " << cut;
+    const Mac a = k.truncated(f);
+    const Mac b = k.truncated(msg);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(HmacKey, ReusableAcrossMessages) {
+  // One cached key, many messages: each MAC must be independent of the
+  // previous one (the midstates are copied, never mutated).
+  const Bytes key = to_bytes("k");
+  const HmacKey k(key);
+  const Digest first = k.mac(to_bytes("one"));
+  (void)k.mac(to_bytes("two"));
+  EXPECT_EQ(to_hex(k.mac(to_bytes("one"))), to_hex(first));
+  EXPECT_EQ(to_hex(first), to_hex(hmac_sha256(key, to_bytes("one"))));
+}
+
+TEST(KeyTable, CachedMacMatchesFromScratch) {
+  const Bytes secret = to_bytes("group-secret");
+  const KeyTable t(0, 4, secret);
+  const Bytes msg = patterned_bytes(128, 9);
+  for (std::uint32_t peer = 0; peer < 4; ++peer) {
+    const Mac cached = t.mac_for(peer, msg);
+    const Mac scratch = truncated_mac(t.key_for(peer), msg);
+    EXPECT_TRUE(std::equal(cached.begin(), cached.end(), scratch.begin()))
+        << "peer " << peer;
+  }
+}
+
+TEST(KeyTable, FrameVecMacMatchesFlat) {
+  const KeyTable t(1, 4, to_bytes("s"));
+  const SharedBytes msg = SharedBytes::copy_of(patterned_bytes(200, 3));
+  FrameVec f;
+  f.append(msg.slice(0, 50));
+  f.append(msg.slice(50));
+  const Mac a = t.mac_for(2, f);
+  const Mac b = t.mac_for(2, msg.view());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
 // ------------------------------------------------------------ KeyTable ---
 
 TEST(KeyTable, PairwiseKeysAreSymmetric) {

@@ -69,11 +69,11 @@ TEST_P(CodecFuzz, AnySingleBitFlipIsRejected) {
   pp.seq = 17;
   pp.batch.push_back(reptor::Request{4, 9, patterned_bytes(50, 7)});
   pp.digest = reptor::batch_digest(pp.batch);
-  const Bytes frame = reptor::encode_for_replicas(
+  const SharedBytes frame = reptor::encode_for_replicas(
       reptor::Envelope{1, reptor::Message{pp}}, sender, 5);
 
   for (int i = 0; i < 100; ++i) {
-    Bytes mutated = frame;
+    Bytes mutated(frame.view().begin(), frame.view().end());
     const std::size_t bit = rng.next_below(frame.size() * 8);
     mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
     const auto env = reptor::decode_verified(mutated, receiver);

@@ -14,7 +14,7 @@ Request make_request(NodeId client, std::uint64_t id, std::size_t op_size) {
 
 TEST(Messages, RequestRoundTrip) {
   const Request req = make_request(4, 7, 100);
-  const Bytes frame =
+  const SharedBytes frame =
       encode_for_replicas(Envelope{4, Message{req}}, keys_for(4), 4);
   const auto env = decode_verified(frame, keys_for(2));
   ASSERT_TRUE(env.has_value());
@@ -29,7 +29,7 @@ TEST(Messages, PrePrepareRoundTripWithBatch) {
   pp.seq = 42;
   pp.batch = {make_request(4, 1, 64), make_request(5, 9, 256)};
   pp.digest = batch_digest(pp.batch);
-  const Bytes frame =
+  const SharedBytes frame =
       encode_for_replicas(Envelope{0, Message{pp}}, keys_for(0), 4);
   const auto env = decode_verified(frame, keys_for(1));
   ASSERT_TRUE(env.has_value());
@@ -45,14 +45,14 @@ TEST(Messages, PrepareCommitReplyCheckpointRoundTrip) {
   const Digest d = Sha256::hash(to_bytes("x"));
   for (Message m : {Message{Prepare{1, 2, d}}, Message{Commit{1, 2, d}},
                     Message{Checkpoint{64, d}}}) {
-    const Bytes frame =
+    const SharedBytes frame =
         encode_for_replicas(Envelope{2, m}, keys_for(2), 4);
     const auto env = decode_verified(frame, keys_for(0));
     ASSERT_TRUE(env.has_value()) << type_name(m);
     EXPECT_STREQ(type_name(env->msg), type_name(m));
   }
   Reply r{5, 4, 99, to_bytes("result")};
-  const Bytes frame = encode_for_peer(Envelope{1, Message{r}}, keys_for(1), 4);
+  const SharedBytes frame = encode_for_peer(Envelope{1, Message{r}}, keys_for(1), 4);
   const auto env = decode_verified(frame, keys_for(4));
   ASSERT_TRUE(env.has_value());
   EXPECT_EQ(std::get<Reply>(env->msg).result, to_bytes("result"));
@@ -68,7 +68,7 @@ TEST(Messages, ViewChangeCarriesBatches) {
   proof.batch = {make_request(4, 3, 128)};
   proof.digest = batch_digest(proof.batch);
   vc.prepared.push_back(proof);
-  const Bytes frame =
+  const SharedBytes frame =
       encode_for_replicas(Envelope{3, Message{vc}}, keys_for(3), 4);
   const auto env = decode_verified(frame, keys_for(0));
   ASSERT_TRUE(env.has_value());
@@ -88,7 +88,7 @@ TEST(Messages, NewViewRoundTrip) {
   pp.seq = 5;
   pp.digest = batch_digest(pp.batch);
   nv.pre_prepares.push_back(pp);
-  const Bytes frame =
+  const SharedBytes frame =
       encode_for_replicas(Envelope{2, Message{nv}}, keys_for(2), 4);
   const auto env = decode_verified(frame, keys_for(1));
   ASSERT_TRUE(env.has_value());
@@ -99,10 +99,10 @@ TEST(Messages, NewViewRoundTrip) {
 }
 
 TEST(Messages, TamperedPayloadFailsVerification) {
-  Bytes frame = encode_for_replicas(
+  SharedBytes frame = encode_for_replicas(
       Envelope{0, Message{Prepare{1, 2, Sha256::hash(to_bytes("x"))}}},
       keys_for(0), 4);
-  frame[6] ^= 0x01;  // flip a payload bit
+  frame.mutable_data()[6] ^= 0x01;  // flip a payload bit (sole owner)
   EXPECT_FALSE(decode_verified(frame, keys_for(1)).has_value());
   // Unverified decode still parses (structure intact).
   EXPECT_TRUE(decode_unverified(frame).has_value());
@@ -110,7 +110,7 @@ TEST(Messages, TamperedPayloadFailsVerification) {
 
 TEST(Messages, WrongClaimedSenderFailsVerification) {
   // Node 2 encodes but claims to be node 1.
-  const Bytes frame = encode_for_replicas(
+  const SharedBytes frame = encode_for_replicas(
       Envelope{1, Message{Prepare{0, 1, Digest{}}}}, keys_for(2), 4);
   EXPECT_FALSE(decode_verified(frame, keys_for(3)).has_value());
 }
@@ -118,20 +118,20 @@ TEST(Messages, WrongClaimedSenderFailsVerification) {
 TEST(Messages, PartialAuthenticatorAttack) {
   // A Byzantine sender corrupts the MAC slot of replica 2 only: replica 1
   // accepts the message, replica 2 rejects it.
-  Bytes frame = encode_for_replicas(
+  SharedBytes frame = encode_for_replicas(
       Envelope{0, Message{Commit{0, 1, Digest{}}}}, keys_for(0), 4);
   const std::size_t macs_off = frame.size() - 4 * sizeof(Mac);
-  frame[macs_off + 2 * sizeof(Mac)] ^= 0xFF;
+  frame.mutable_data()[macs_off + 2 * sizeof(Mac)] ^= 0xFF;
   EXPECT_TRUE(decode_verified(frame, keys_for(1)).has_value());
   EXPECT_FALSE(decode_verified(frame, keys_for(2)).has_value());
 }
 
 TEST(Messages, TruncatedFrameRejected) {
-  const Bytes frame = encode_for_replicas(
+  const SharedBytes frame = encode_for_replicas(
       Envelope{0, Message{Prepare{1, 2, Digest{}}}}, keys_for(0), 4);
   for (std::size_t cut : {1ul, 8ul, frame.size() / 2, frame.size() - 1}) {
     EXPECT_FALSE(
-        decode_verified(ByteView(frame).first(cut), keys_for(1)).has_value())
+        decode_verified(frame.view().first(cut), keys_for(1)).has_value())
         << "cut at " << cut;
   }
 }
@@ -151,7 +151,7 @@ TEST(Messages, BatchDigestIsOrderSensitive) {
 }
 
 TEST(Messages, SingleMacFrameOnlyVerifiesAtTarget) {
-  const Bytes frame = encode_for_peer(
+  const SharedBytes frame = encode_for_peer(
       Envelope{1, Message{Reply{0, 4, 1, to_bytes("r")}}}, keys_for(1), 4);
   EXPECT_TRUE(decode_verified(frame, keys_for(4)).has_value());
   EXPECT_FALSE(decode_verified(frame, keys_for(5)).has_value());

@@ -76,7 +76,7 @@ TEST(Snapshot, StateMessagesRoundTrip) {
   KeyTable k0(0, 6, to_bytes("s"));
   KeyTable k1(1, 6, to_bytes("s"));
   {
-    const Bytes frame = encode_for_peer(
+    const SharedBytes frame = encode_for_peer(
         Envelope{1, Message{StateRequest{42}}}, k1, 0);
     const auto env = decode_verified(frame, k0);
     ASSERT_TRUE(env.has_value());
@@ -87,7 +87,7 @@ TEST(Snapshot, StateMessagesRoundTrip) {
     resp.seq = 64;
     resp.app_snapshot = patterned_bytes(500, 9);
     resp.client_table = patterned_bytes(80, 3);
-    const Bytes frame =
+    const SharedBytes frame =
         encode_for_peer(Envelope{0, Message{resp}}, k0, 1);
     const auto env = decode_verified(frame, k1);
     ASSERT_TRUE(env.has_value());
@@ -103,7 +103,7 @@ TEST(Snapshot, CheckpointCarriesBothDigests) {
   KeyTable k2(2, 6, to_bytes("s"));
   Checkpoint cp{128, Sha256::hash(to_bytes("state")),
                 Sha256::hash(to_bytes("clients"))};
-  const Bytes frame = encode_for_replicas(Envelope{0, Message{cp}}, k0, 4);
+  const SharedBytes frame = encode_for_replicas(Envelope{0, Message{cp}}, k0, 4);
   const auto env = decode_verified(frame, k2);
   ASSERT_TRUE(env.has_value());
   const auto& out = std::get<Checkpoint>(env->msg);

@@ -69,13 +69,13 @@ TEST_P(TransportTest, MeshBringUpConnectsEveryPair) {
 
 TEST_P(TransportTest, FrameRoundTripBothDirections) {
   with_mesh(2, 0, [](BftHarness& h, auto& ts) {
-    const Bytes ping = patterned_bytes(300, 1);
-    const Bytes pong = patterned_bytes(700, 2);
+    const SharedBytes ping = SharedBytes::copy_of(patterned_bytes(300, 1));
+    const SharedBytes pong = SharedBytes::copy_of(patterned_bytes(700, 2));
     bool ok0 = false;
     bool ok1 = false;
-    h.sim().spawn([](Transport& t, const Bytes& ping, const Bytes& pong,
+    h.sim().spawn([](Transport& t, const SharedBytes& ping, const SharedBytes& pong,
                      bool& ok) -> Task<> {
-      t.send(1, Bytes(ping));
+      t.send(1, ping);
       for (;;) {
         const auto msgs = co_await t.poll(sim::milliseconds(5));
         for (const auto& m : msgs) {
@@ -87,14 +87,14 @@ TEST_P(TransportTest, FrameRoundTripBothDirections) {
         if (msgs.empty()) co_return;
       }
     }(*ts[0], ping, pong, ok0));
-    h.sim().spawn([](Transport& t, const Bytes& ping, const Bytes& pong,
+    h.sim().spawn([](Transport& t, const SharedBytes& ping, const SharedBytes& pong,
                      bool& ok) -> Task<> {
       for (;;) {
         const auto msgs = co_await t.poll(sim::milliseconds(5));
         for (const auto& m : msgs) {
           if (m.peer == 0 && m.frame == ping) {
             ok = true;
-            t.send(0, Bytes(pong));
+            t.send(0, pong);
             (void)co_await t.poll(0);  // flush
             co_return;
           }
@@ -110,11 +110,11 @@ TEST_P(TransportTest, FrameRoundTripBothDirections) {
 
 TEST_P(TransportTest, BroadcastReachesEveryOtherReplica) {
   with_mesh(4, 0, [](BftHarness& h, auto& ts) {
-    const Bytes frame = patterned_bytes(512, 9);
+    const SharedBytes frame = SharedBytes::copy_of(patterned_bytes(512, 9));
     ts[0]->broadcast_replicas(frame);
     std::array<int, 4> got{};
     for (NodeId r = 1; r < 4; ++r) {
-      h.sim().spawn([](Transport& t, const Bytes& frame, int& got) -> Task<> {
+      h.sim().spawn([](Transport& t, const SharedBytes& frame, int& got) -> Task<> {
         const auto msgs = co_await t.poll(sim::milliseconds(5));
         for (const auto& m : msgs) {
           if (m.peer == 0 && m.frame == frame) ++got;
@@ -137,7 +137,7 @@ TEST_P(TransportTest, LargeAndTinyFramesKeepBoundariesAndOrder) {
   with_mesh(2, 0, [](BftHarness& h, auto& ts) {
     std::vector<std::size_t> sizes{1, 90'000, 17, 64'000, 5, 100'000};
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-      ts[0]->send(1, patterned_bytes(sizes[i], i));
+      ts[0]->send(1, SharedBytes::copy_of(patterned_bytes(sizes[i], i)));
     }
     std::vector<std::size_t> got;
     bool intact = true;
@@ -184,7 +184,7 @@ TEST_P(TransportTest, PollTimeoutOnIdleMesh) {
 
 TEST_P(TransportTest, BatchingAmortizesFlushes) {
   with_mesh(2, 0, [](BftHarness& h, auto& ts) {
-    for (int i = 0; i < 20; ++i) ts[0]->send(1, patterned_bytes(256, i));
+    for (int i = 0; i < 20; ++i) ts[0]->send(1, SharedBytes::copy_of(patterned_bytes(256, i)));
     h.sim().spawn([](Transport& t) -> Task<> {
       for (int i = 0; i < 10; ++i) (void)co_await t.poll(sim::microseconds(100));
     }(*ts[0]));
@@ -212,7 +212,7 @@ TEST_P(TransportTest, StackCostSlowsTheStack) {
       sc.per_message = per_msg;
       ts[0]->set_stack_cost(sc);
       ts[1]->set_stack_cost(sc);
-      for (int i = 0; i < 10; ++i) ts[0]->send(1, patterned_bytes(128, i));
+      for (int i = 0; i < 10; ++i) ts[0]->send(1, SharedBytes::copy_of(patterned_bytes(128, i)));
       int received = 0;
       const sim::Time t0 = h.sim().now();
       h.sim().spawn([](Transport& t) -> Task<> {
