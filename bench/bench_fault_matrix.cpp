@@ -1,0 +1,113 @@
+// Extension E6 — the FaultLab fault matrix: every corpus scenario (crash,
+// partition, loss, corruption, duplication, reordering, QP errors, NIC
+// stalls, and five Byzantine strategies, at f=1 and f=2) runs under the
+// safety/liveness checker. The table is the protocol's fault envelope:
+// safety must hold in EVERY row, liveness in every row with <= f faults.
+//
+//   bench_fault_matrix            full corpus
+//   bench_fault_matrix --smoke    CI cross-section (3 scenarios)
+//   bench_fault_matrix --list     scenario names + descriptions
+//   bench_fault_matrix <name>     one scenario
+//
+// Exit status is non-zero when any scenario misses its expected verdict,
+// so CI can gate on the matrix directly.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "faultlab/corpus.hpp"
+#include "faultlab/lab.hpp"
+
+using namespace rubin;
+using namespace rubin::bench;
+using namespace rubin::faultlab;
+
+namespace {
+
+void print_report(const Report& r) {
+  char faults[64];
+  std::snprintf(faults, sizeof(faults), "%llu/%llu/%llu/%llu",
+                static_cast<unsigned long long>(r.frames_dropped),
+                static_cast<unsigned long long>(r.frames_corrupted),
+                static_cast<unsigned long long>(r.frames_duplicated),
+                static_cast<unsigned long long>(r.frames_reordered));
+  char done[32];
+  std::snprintf(done, sizeof(done), "%llu/%llu",
+                static_cast<unsigned long long>(r.completions),
+                static_cast<unsigned long long>(r.expected_completions));
+  std::printf("%-28s %2u %3u/%u  %-5s %-6s %-5s %-6s %9s %5llu %8s %15s  %s\n",
+              r.name.c_str(), r.n, r.faulty, r.f,
+              r.verdict.safe ? "yes" : "NO",
+              r.verdict.no_forgery ? "yes" : "NO",
+              r.verdict.live ? "yes" : "no",
+              r.expect_liveness ? "live" : "safe",
+              r.verdict.recovery >= 0 ? fmt(sim::to_ms(r.verdict.recovery), 2).c_str()
+                                      : "-",
+              static_cast<unsigned long long>(r.final_view), done, faults,
+              r.passed() ? "PASS" : "FAIL");
+  if (!r.passed() && !r.verdict.detail.empty()) {
+    std::printf("%-28s   ^ %s\n", "", r.verdict.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const Scenario& s : corpus()) {
+        std::printf("%-28s %s\n", s.name.c_str(), s.description.c_str());
+      }
+      return 0;
+    } else {
+      only = argv[i];
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  if (!only.empty()) {
+    auto s = find_scenario(only);
+    if (!s) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   only.c_str());
+      return 2;
+    }
+    scenarios.push_back(std::move(*s));
+  } else {
+    scenarios = smoke ? smoke_corpus() : corpus();
+  }
+
+  print_header("E6 — FaultLab fault matrix",
+               smoke ? "CI smoke cross-section over RUBIN/RDMA"
+                     : "full scenario corpus over RUBIN/RDMA; safety "
+                       "checked everywhere, liveness wherever faults <= f");
+  std::printf("%-28s %2s %5s  %-5s %-6s %-5s %-6s %9s %5s %8s %15s\n",
+              "scenario", "n", "flt/f", "safe", "clean", "live", "expect",
+              "recov(ms)", "view", "done", "flt d/c/u/r");
+
+  int failures = 0;
+  std::uint64_t total_faults = 0;
+  for (Scenario& s : scenarios) {
+    Lab lab(std::move(s));
+    const Report r = lab.run();
+    print_report(r);
+    if (!r.passed()) ++failures;
+    total_faults += r.frames_dropped + r.frames_corrupted +
+                    r.frames_duplicated + r.frames_reordered;
+  }
+
+  std::printf(
+      "\n%zu scenarios, %d failed; %llu frames faulted in flight.\n"
+      "Safety holds in every scenario (including beyond-envelope), and\n"
+      "liveness in every scenario with at most f faulty replicas — the\n"
+      "BFT guarantee the paper's protocols build on (PAPER.md §II-B).\n",
+      scenarios.size(), failures,
+      static_cast<unsigned long long>(total_faults));
+  return failures == 0 ? 0 : 1;
+}

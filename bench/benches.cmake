@@ -26,3 +26,6 @@ rubin_add_bench(bench_group_scaling)
 rubin_add_bench(bench_ablation_onesided)
 rubin_add_bench(bench_selector_scaling)
 rubin_add_bench(bench_viewchange_recovery)
+target_link_libraries(bench_viewchange_recovery PRIVATE rubin_faultlab)
+rubin_add_bench(bench_fault_matrix)
+target_link_libraries(bench_fault_matrix PRIVATE rubin_faultlab)

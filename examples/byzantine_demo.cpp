@@ -8,33 +8,18 @@
 //          resumes — with nothing executed twice and all honest replicas
 //          in agreement.
 //
+// The fault, the run, and the verdict all come from FaultLab: the demo
+// declares a Scenario (who is Byzantine, how the group is shaped) and
+// the Lab injects it, drives the client, and checks safety + liveness.
+//
 //   $ ./byzantine_demo
 #include <cstdio>
 
-#include "common/codec.hpp"
-#include "workloads/bft_harness.hpp"
+#include "faultlab/lab.hpp"
 
 using namespace rubin;
+using namespace rubin::faultlab;
 using namespace rubin::reptor;
-
-namespace {
-
-sim::Task<> run_client(BftHarness& h, Client& client, bool& done) {
-  co_await client.start();
-  for (int i = 1; i <= 6; ++i) {
-    const sim::Time t0 = h.sim().now();
-    const Bytes result = co_await client.invoke(to_bytes("add:10"));
-    Decoder d(result);
-    std::printf("[%7.2f ms] request %d done: counter=%llu  (%.1f us, view %llu)\n",
-                sim::to_ms(h.sim().now()), i,
-                static_cast<unsigned long long>(d.get_u64().value_or(0)),
-                sim::to_us(h.sim().now() - t0),
-                static_cast<unsigned long long>(client.known_view()));
-  }
-  done = true;
-}
-
-}  // namespace
 
 int main() {
   std::printf(
@@ -42,33 +27,46 @@ int main() {
       "Replica 0 is a *silent primary* — it accepts client requests and\n"
       "then does nothing, hoping the system stalls.\n\n");
 
-  BftHarness h(Backend::kRubin, 4, 1);
-  ReplicaConfig cfg;
-  cfg.batch_timeout = sim::microseconds(100);
-  cfg.view_change_timeout = sim::milliseconds(5);
-  h.add_replicas({{0, FaultMode::kSilentPrimary}}, cfg);
+  Scenario s;
+  s.name = "byzantine-demo";
+  s.description = "silent primary removed by a view change";
+  s.n = 4;
+  s.clients = 1;
+  s.requests = 6;
+  s.replica_cfg.batch_timeout = sim::microseconds(100);
+  s.replica_cfg.view_change_timeout = sim::milliseconds(5);
+  s.client_cfg.retry_timeout = sim::milliseconds(4);
+  s.strategies[0] = &make_silent_primary;  // the whole fault injection
 
-  ClientConfig ccfg;
-  ccfg.retry_timeout = sim::milliseconds(4);
-  auto& client = h.add_client(4, ccfg);
+  Lab lab(std::move(s));
+  const Report r = lab.run();
 
-  bool done = false;
-  h.sim().spawn(run_client(h, client, done));
-  h.sim().run_until(sim::seconds(5));
+  std::printf("requests completed: %llu/%llu, last at %.2f ms\n",
+              static_cast<unsigned long long>(r.completions),
+              static_cast<unsigned long long>(r.expected_completions),
+              sim::to_ms(r.finished_at));
+  std::printf("client retries (the backups' tip-off): %llu\n\n",
+              static_cast<unsigned long long>(r.client_retries));
 
-  std::printf("\npost-mortem:\n");
-  for (NodeId r = 0; r < 4; ++r) {
-    const Replica& rep = h.replica(r);
+  std::printf("post-mortem:\n");
+  for (NodeId rep_id = 0; rep_id < 4; ++rep_id) {
+    const Replica& rep = lab.replica(rep_id);
     std::printf(
         "  replica %u: view %llu%s, executed %llu, view-changes sent %llu%s\n",
-        r, static_cast<unsigned long long>(rep.view()),
+        rep_id, static_cast<unsigned long long>(rep.view()),
         rep.is_primary() ? " (primary)" : "",
         static_cast<unsigned long long>(rep.stats().requests_executed),
         static_cast<unsigned long long>(rep.stats().view_changes),
-        r == 0 ? "  <- the saboteur" : "");
+        rep_id == 0 ? "  <- the saboteur" : "");
   }
-  if (!done) {
-    std::printf("\nFAILED: the group never recovered.\n");
+
+  std::printf("\nchecker verdict: safety %s, no forgery %s, liveness %s "
+              "(recovered %.2f ms after the fault)\n",
+              r.verdict.safe ? "OK" : "VIOLATED",
+              r.verdict.no_forgery ? "OK" : "VIOLATED",
+              r.verdict.live ? "OK" : "LOST", sim::to_ms(r.verdict.recovery));
+  if (!r.passed()) {
+    std::printf("\nFAILED: %s\n", r.verdict.detail.c_str());
     return 1;
   }
   std::printf(
@@ -76,7 +74,7 @@ int main() {
       "backups; view %llu elected replica %llu as the new primary and the\n"
       "protocol resumed. The faulty replica could delay, but not stop or\n"
       "corrupt, the service — the BFT guarantee the paper builds on (§II-B).\n",
-      static_cast<unsigned long long>(h.replica(1).view()),
-      static_cast<unsigned long long>(h.replica(1).view() % 4));
+      static_cast<unsigned long long>(r.final_view),
+      static_cast<unsigned long long>(r.final_view % 4));
   return 0;
 }

@@ -1,0 +1,109 @@
+#include "faultlab/checker.hpp"
+
+#include <string>
+
+namespace rubin::faultlab {
+
+namespace {
+
+/// FNV-1a, the determinism fold. Not cryptographic — it only needs to be
+/// stable across replays and sensitive to any reordered/changed commit.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Checker::expect_request(reptor::NodeId client, std::uint64_t id,
+                             const Bytes& op) {
+  issued_[{client, id}] = op;
+}
+
+void Checker::on_commit(reptor::NodeId r, std::uint64_t seq,
+                        const reptor::PrePrepare& pp) {
+  if (r >= correct_.size() || !correct_[r]) return;  // adversaries lie
+
+  // Safety: the first correct committer of `seq` fixes the canonical
+  // digest; any correct replica committing a different one diverged.
+  auto [it, inserted] = canon_.try_emplace(seq, pp.digest, r);
+  if (!inserted && it->second.first != pp.digest) {
+    ++divergences_;
+    if (detail_.empty()) {
+      detail_ = "safety: replicas " + std::to_string(it->second.second) +
+                " and " + std::to_string(r) +
+                " committed different batches at seq " + std::to_string(seq);
+    }
+  }
+  logs_[r][seq] = pp.digest;
+
+  // Forgery: every committed request must be one a Lab client issued,
+  // byte-for-byte. A corrupted frame that slipped past the MAC layer, or
+  // an adversary-invented request, shows up here.
+  for (const reptor::Request& req : pp.batch) {
+    const auto issued = issued_.find({req.client, req.id});
+    if (issued == issued_.end() || issued->second != req.op) {
+      ++forgeries_;
+      if (detail_.empty()) {
+        detail_ = "forgery: replica " + std::to_string(r) +
+                  " executed unissued request (client " +
+                  std::to_string(req.client) + ", id " +
+                  std::to_string(req.id) + ") at seq " + std::to_string(seq);
+      }
+    }
+  }
+}
+
+void Checker::on_completion(sim::Time at) {
+  ++completions_;
+  last_completion_ = at;
+  if (first_after_ < 0 && at >= clock_start_) first_after_ = at;
+}
+
+void Checker::restart_recovery_clock(sim::Time at) {
+  clock_start_ = at;
+  first_after_ = -1;
+}
+
+Verdict Checker::finish(std::uint64_t expected_completions,
+                        sim::Time liveness_bound) const {
+  Verdict v;
+  v.safe = divergences_ == 0;
+  v.no_forgery = forgeries_ == 0;
+  v.detail = detail_;
+  v.all_completed = completions_ >= expected_completions;
+
+  // Liveness: everything completed, and after the last recovery-clock
+  // restart the next completion landed within the bound. If nothing was
+  // left to complete after the restart, progress never stalled.
+  if (first_after_ >= 0) {
+    v.recovery = first_after_ - clock_start_;
+    v.live = v.all_completed && v.recovery <= liveness_bound;
+  } else {
+    v.live = v.all_completed;
+  }
+  if (!v.all_completed && v.detail.empty()) {
+    v.detail = "liveness: " + std::to_string(completions_) + "/" +
+               std::to_string(expected_completions) +
+               " requests completed before the horizon";
+  }
+
+  // Commit-log fold: per correct replica (ascending id), per seq
+  // (ascending), mix (replica, seq, digest).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& [r, log] : logs_) {
+    h = fnv1a(h, &r, sizeof(r));
+    for (const auto& [seq, digest] : log) {
+      h = fnv1a(h, &seq, sizeof(seq));
+      h = fnv1a(h, digest.data(), digest.size());
+    }
+  }
+  v.commit_digest = h;
+  return v;
+}
+
+}  // namespace rubin::faultlab

@@ -1,0 +1,95 @@
+// FaultLab checker: safety and liveness verdicts over a scenario run.
+//
+// Safety  — no two correct replicas commit different requests at the same
+//           sequence number (cross-replica digest comparison per seq).
+//         — corrupted or forged frames never reach execution: every
+//           request inside a committed batch must be byte-identical to an
+//           operation a Lab client actually issued.
+// Liveness — client progress resumes within `liveness_bound` of the last
+//           recovery-clock restart (fault onset or heal), and every
+//           expected request completes before the horizon.
+//
+// The checker observes, never steers: commit logs arrive through
+// Replica::set_commit_observer, completions through the Lab's client
+// drivers. Its `commit_digest` folds every correct replica's commit log
+// into one value — the determinism test replays a scenario and demands
+// bit-equality.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reptor/messages.hpp"
+#include "sim/time.hpp"
+
+namespace rubin::faultlab {
+
+struct Verdict {
+  bool safe = true;        // no divergent commits among correct replicas
+  bool no_forgery = true;  // committed requests all genuinely issued
+  bool live = false;       // recovered within bound AND all completed
+  bool all_completed = false;
+  /// Delay from the last recovery-clock restart to the next completion
+  /// (-1: no completion was needed after it).
+  sim::Time recovery = -1;
+  /// Order-independent fold of all correct replicas' commit logs; bit
+  /// -identical across replays of the same (scenario, seed).
+  std::uint64_t commit_digest = 0;
+  /// First violation, human-readable; empty when clean.
+  std::string detail;
+
+  bool accept(bool expect_liveness) const {
+    return safe && no_forgery && (!expect_liveness || live);
+  }
+};
+
+class Checker {
+ public:
+  /// `correct[r]` == true iff replica r runs no adversarial strategy and
+  /// no runtime fault is scheduled against it.
+  explicit Checker(std::vector<bool> correct)
+      : correct_(std::move(correct)) {}
+
+  /// Registers an operation a client is about to issue. Committed
+  /// requests that match no registered (client, id, op) are forgeries.
+  void expect_request(reptor::NodeId client, std::uint64_t id,
+                      const Bytes& op);
+
+  /// Commit observer hook: replica `r` is executing `pp` at `seq`.
+  void on_commit(reptor::NodeId r, std::uint64_t seq,
+                 const reptor::PrePrepare& pp);
+
+  void on_completion(sim::Time at);
+  void restart_recovery_clock(sim::Time at);
+
+  /// Final verdict. `expected_completions` is clients * requests.
+  Verdict finish(std::uint64_t expected_completions,
+                 sim::Time liveness_bound) const;
+
+  std::uint64_t divergences() const noexcept { return divergences_; }
+  std::uint64_t forgeries() const noexcept { return forgeries_; }
+
+ private:
+  std::vector<bool> correct_;
+
+  // seq -> (digest, first correct committer) — the canonical commit.
+  std::map<std::uint64_t, std::pair<Digest, reptor::NodeId>> canon_;
+  // (client, id) -> issued op bytes.
+  std::map<std::pair<reptor::NodeId, std::uint64_t>, Bytes> issued_;
+  // Per-replica commit logs (correct replicas only): seq -> digest.
+  std::map<reptor::NodeId, std::map<std::uint64_t, Digest>> logs_;
+
+  std::uint64_t divergences_ = 0;
+  std::uint64_t forgeries_ = 0;
+  std::string detail_;
+
+  std::uint64_t completions_ = 0;
+  sim::Time clock_start_ = 0;       // latest recovery-clock restart
+  sim::Time first_after_ = -1;      // first completion at/after it
+  sim::Time last_completion_ = -1;
+};
+
+}  // namespace rubin::faultlab

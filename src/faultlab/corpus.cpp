@@ -1,0 +1,291 @@
+#include "faultlab/corpus.hpp"
+
+#include "faultlab/lab.hpp"
+
+namespace rubin::faultlab {
+
+namespace {
+
+Scenario base(std::string name, std::string description, std::uint32_t n) {
+  Scenario s;
+  s.name = std::move(name);
+  s.description = std::move(description);
+  s.n = n;
+  s.requests = n > 4 ? 20 : 25;
+  s.request_gap = sim::microseconds(500);
+  s.seed = 0x5eedULL + n;
+  s.replica_cfg.batch_timeout = sim::microseconds(50);
+  s.replica_cfg.checkpoint_interval = 8;
+  s.replica_cfg.view_change_timeout = sim::milliseconds(10);
+  // Not a multiple of n * view_change_timeout: a retry cadence that is
+  // would resonate with primary rotation and re-deliver every retry to
+  // the same (possibly Byzantine) primary.
+  s.client_cfg.retry_timeout = sim::milliseconds(15);
+  return s;
+}
+
+FaultEvent at(sim::Time t, std::string label,
+              std::function<void(Lab&)> action, bool clears = false) {
+  FaultEvent e;
+  e.label = std::move(label);
+  e.at = t;
+  e.action = std::move(action);
+  e.clears_faults = clears;
+  return e;
+}
+
+void crash(Lab& lab, reptor::NodeId r) {
+  lab.replica(r).inject_crash();
+}
+
+}  // namespace
+
+std::vector<Scenario> corpus() {
+  std::vector<Scenario> all;
+
+  // ---------------------------------------------------- f = 1 (n = 4) --
+  all.push_back(base("f1-clean", "control: no faults at all", 4));
+
+  {
+    Scenario s = base("f1-crash-backup",
+                      "backup 3 crash-stops at t=4ms; group of 3 >= 2f+1 "
+                      "keeps committing without a view change", 4);
+    s.runtime_faulty = {3};
+    s.events.push_back(at(sim::milliseconds(4), "crash replica 3",
+                          [](Lab& l) { crash(l, 3); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-crash-primary",
+                      "after 8 commits complete, the primary crash-stops; "
+                      "client retry tips off the backups and the view "
+                      "change elects replica 1", 4);
+    s.runtime_faulty = {0};
+    FaultEvent e;
+    e.label = "crash primary after 8 completions";
+    e.when = [](Lab& l) { return l.completions() >= 8; };
+    e.action = [](Lab& l) { crash(l, 0); };
+    e.clears_faults = true;
+    s.events.push_back(std::move(e));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-partition-primary",
+                      "the primary is partitioned from everyone for 20ms "
+                      "(honest, just unreachable); view change during the "
+                      "outage, state transfer after the heal", 4);
+    s.events.push_back(at(sim::milliseconds(4), "isolate replica 0",
+                          [](Lab& l) { l.isolate(0); }));
+    s.events.push_back(at(sim::milliseconds(24), "heal partition",
+                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-lossy-fabric",
+                      "5% global frame loss for 50ms; RC retransmission "
+                      "and client retries ride it out", 4);
+    s.events.push_back(at(sim::milliseconds(2), "5% drop rate",
+                          [](Lab& l) { l.fabric().set_drop_rate(0.05); }));
+    s.events.push_back(at(sim::milliseconds(30), "heal fabric",
+                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-corrupt-frames",
+                      "5% of frames are bit-flipped for the whole run; the "
+                      "MAC layer must reject every garbled frame (checker "
+                      "proves none reach execution)", 4);
+    s.events.push_back(at(sim::milliseconds(1), "5% corruption",
+                          [](Lab& l) { l.fabric().set_corrupt_rate(0.05); }));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-duplicate-flood",
+                      "25% of frames are duplicated for the whole run; "
+                      "verbs PSN tracking and PBFT dedup must absorb the "
+                      "ghosts without double-execution", 4);
+    s.events.push_back(
+        at(sim::milliseconds(1), "25% duplication",
+           [](Lab& l) { l.fabric().set_duplicate_rate(0.25); }));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-reorder-burst",
+                      "30% of frames held back 20us for the whole run; "
+                      "out-of-order PREPARE/COMMIT arrival must not break "
+                      "vote counting", 4);
+    s.events.push_back(at(sim::milliseconds(1), "30% reordering",
+                          [](Lab& l) {
+                            l.fabric().set_reorder_delay(
+                                sim::microseconds(20));
+                            l.fabric().set_reorder_rate(0.3);
+                          }));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-qp-error-backup",
+                      "all of backup 3's QPs transition to error at t=6ms "
+                      "(flushed completions); transports redial with "
+                      "backoff and the replica rejoins", 4);
+    s.events.push_back(at(sim::milliseconds(6), "QP errors on host 3",
+                          [](Lab& l) {
+                            if (l.harness().has_devices()) {
+                              l.device(3).inject_qp_errors();
+                            }
+                          },
+                          /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-nic-stall-primary",
+                      "the primary's NIC stalls for 10ms (frames queue, "
+                      "nothing sends); backups may view-change, the stall "
+                      "drains, progress resumes", 4);
+    s.events.push_back(at(sim::milliseconds(5), "NIC stall on host 0",
+                          [](Lab& l) {
+                            if (l.harness().has_devices()) {
+                              l.device(0).inject_nic_stall(
+                                  sim::milliseconds(10));
+                            }
+                          },
+                          /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-byz-equivocating-primary",
+                      "the primary sends conflicting PRE-PREPAREs (split "
+                      "batches); no digest reaches quorum and the view "
+                      "change removes it", 4);
+    s.strategies[0] = &reptor::make_equivocating_primary;
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-byz-silent-primary",
+                      "the primary accepts requests but never proposes; "
+                      "client broadcast retry arms the backup watchdogs", 4);
+    s.strategies[0] = &reptor::make_silent_primary;
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-byz-corrupt-macs",
+                      "backup 1 garbles its authenticator MACs toward "
+                      "even-numbered peers; partial-MAC votes must not "
+                      "count toward quorums", 4);
+    s.strategies[1] = &reptor::make_corrupt_macs;
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-byz-mute-backup",
+                      "backup 2 processes everything but sends nothing "
+                      "(mute != crash: it still drains and acks at the "
+                      "transport level)", 4);
+    s.strategies[2] = &reptor::make_mute;
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-byz-replayer",
+                      "backup 3 rebroadcasts recorded authentic frames; "
+                      "vote sets and client dedup must be idempotent", 4);
+    s.strategies[3] = &reptor::make_replayer;
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-byz-stale-view-spam",
+                      "backup 2 spams stale and premature VIEW-CHANGEs; a "
+                      "lone voice stays below the f+1 join rule", 4);
+    s.strategies[2] = &reptor::make_stale_view_spammer;
+    all.push_back(std::move(s));
+  }
+
+  // ---------------------------------------------------- f = 2 (n = 7) --
+  {
+    Scenario s = base("f2-crash-two",
+                      "two backups crash 7ms apart (exactly f=2 faults); "
+                      "the remaining 5 = 2f+1 keep committing", 7);
+    s.runtime_faulty = {5, 6};
+    s.events.push_back(at(sim::milliseconds(5), "crash replica 5",
+                          [](Lab& l) { crash(l, 5); }));
+    s.events.push_back(at(sim::milliseconds(12), "crash replica 6",
+                          [](Lab& l) { crash(l, 6); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f2-equivocate-plus-crash",
+                      "an equivocating primary AND a crashed backup "
+                      "(f=2 mixed Byzantine/crash); view change must "
+                      "succeed with only 5 cooperative replicas", 7);
+    s.strategies[0] = &reptor::make_equivocating_primary;
+    s.runtime_faulty = {6};
+    s.events.push_back(at(sim::milliseconds(8), "crash replica 6",
+                          [](Lab& l) { crash(l, 6); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f2-partition-minority",
+                      "replicas 5 and 6 are cut off for 20ms, then healed; "
+                      "the majority keeps running, the minority catches up "
+                      "via state transfer", 7);
+    s.events.push_back(at(sim::milliseconds(5), "isolate replicas 5,6",
+                          [](Lab& l) {
+                            l.isolate(5);
+                            l.isolate(6);
+                          }));
+    s.events.push_back(at(sim::milliseconds(25), "heal partition",
+                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f2-beyond-envelope",
+                      "THREE crashes with f=2: quorum 2f+1=5 is "
+                      "unreachable, liveness is forfeit by design — but "
+                      "safety must still hold for whatever committed", 7);
+    s.expect_liveness = false;
+    s.requests = 10;
+    s.horizon = sim::milliseconds(600);
+    s.runtime_faulty = {4, 5, 6};
+    s.events.push_back(at(sim::milliseconds(3), "crash replicas 4,5,6",
+                          [](Lab& l) {
+                            crash(l, 4);
+                            crash(l, 5);
+                            crash(l, 6);
+                          }));
+    all.push_back(std::move(s));
+  }
+
+  return all;
+}
+
+std::vector<Scenario> smoke_corpus() {
+  std::vector<Scenario> out;
+  for (const char* name :
+       {"f1-crash-primary", "f1-lossy-fabric", "f1-byz-equivocating-primary"}) {
+    if (auto s = find_scenario(name)) out.push_back(std::move(*s));
+  }
+  return out;
+}
+
+std::optional<Scenario> find_scenario(const std::string& name) {
+  for (Scenario& s : corpus()) {
+    if (s.name == name) return std::move(s);
+  }
+  return std::nullopt;
+}
+
+}  // namespace rubin::faultlab

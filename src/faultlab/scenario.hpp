@@ -1,0 +1,104 @@
+// FaultLab scenario layer: declarative fault schedules for BFT runs.
+//
+// A Scenario bundles a replica-group shape (n, clients, request load), a
+// set of config-time Byzantine strategies, and a list of FaultEvents that
+// fire either at a virtual instant ("at t=20ms, partition the primary")
+// or when a predicate first turns true ("after 10 commits complete,
+// crash the primary"). Events act through the Lab handle, which exposes
+// all three injection surfaces:
+//   * fabric  — drop/partition/delay/corrupt/duplicate/reorder knobs,
+//   * verbs   — QP error transitions and NIC stall windows,
+//   * replica — runtime crash or ByzantineStrategy installation.
+//
+// Determinism contract: everything a scenario does is driven by virtual
+// time and the seeded fabric fault RNG (`seed`). Scenario closures must
+// never read wall clocks or unseeded randomness — same Scenario, same
+// seed => bit-identical run (the determinism test enforces this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "reptor/byzantine.hpp"
+#include "reptor/client.hpp"
+#include "reptor/replica.hpp"
+#include "sim/time.hpp"
+
+namespace rubin::faultlab {
+
+class Lab;
+
+/// Builds a fresh strategy instance per Lab run, so replaying a scenario
+/// never reuses an adversary's accumulated state.
+using StrategyFactory =
+    std::function<std::shared_ptr<reptor::ByzantineStrategy>()>;
+
+/// One scheduled injection. Exactly one trigger applies: `at >= 0` fires
+/// at that virtual instant; otherwise `when` is polled and the event
+/// fires the first time it returns true.
+struct FaultEvent {
+  std::string label;
+  sim::Time at = -1;
+  std::function<bool(Lab&)> when;
+  std::function<void(Lab&)> action;
+  /// Restarts the checker's recovery clock: this event marks the instant
+  /// after which the protocol is expected to make progress again (a heal,
+  /// or the onset of a fault the group must tolerate). Liveness verdict:
+  /// the next client completion must land within `liveness_bound` of the
+  /// latest such instant.
+  bool clears_faults = false;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  // Group shape. f = (n - 1) / 3; clients get host ids n, n+1, ...
+  std::uint32_t n = 4;
+  std::uint32_t clients = 1;
+  /// Requests per client; client c issues ops "add:<c+1>" so the final
+  /// counter value is load-dependent and divergence is visible.
+  std::uint32_t requests = 25;
+  /// Pause between a client's requests. A paced workload spans the fault
+  /// window instead of finishing before the first event fires.
+  sim::Time request_gap = 0;
+
+  /// Seeds the fabric fault RNG (drop/corrupt/duplicate/reorder dice).
+  std::uint64_t seed = 1;
+
+  /// Hard stop for the run (virtual time).
+  sim::Time horizon = sim::seconds(2);
+  /// Progress must resume within this bound after faults clear.
+  sim::Time liveness_bound = sim::milliseconds(500);
+  /// False for beyond-envelope scenarios (> f faults): safety is still
+  /// checked, liveness is not expected.
+  bool expect_liveness = true;
+
+  /// Base replica configuration (n/f/self are overwritten per replica).
+  reptor::ReplicaConfig replica_cfg;
+  /// Base client configuration (n/f/self are overwritten per client).
+  reptor::ClientConfig client_cfg;
+
+  /// Config-time adversaries: replica id -> strategy factory. These
+  /// replicas are excluded from the checker's correct set automatically.
+  std::map<reptor::NodeId, StrategyFactory> strategies;
+  /// Replicas made faulty by *runtime* events (crash actions, mid-run
+  /// strategy installs) — list them here so the checker knows up front.
+  std::set<reptor::NodeId> runtime_faulty;
+
+  std::vector<FaultEvent> events;
+
+  std::uint32_t f() const noexcept { return (n - 1) / 3; }
+  std::uint32_t faulty_count() const noexcept {
+    std::set<reptor::NodeId> all = runtime_faulty;
+    for (const auto& [id, mk] : strategies) all.insert(id);
+    return static_cast<std::uint32_t>(all.size());
+  }
+};
+
+}  // namespace rubin::faultlab

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/stats.hpp"
+
 namespace rubin::net {
 
 Fabric::Fabric(sim::Simulator& sim, CostModel cost, std::size_t host_count)
     : sim_(&sim), cost_(cost), egress_free_(host_count, 0) {}
 
-std::optional<sim::Time> Fabric::plan_transmit(HostId src, HostId dst,
-                                               std::size_t payload_bytes) {
+std::optional<Fabric::TxPlan> Fabric::plan_transmit(HostId src, HostId dst,
+                                                    std::size_t payload_bytes) {
   if (src >= egress_free_.size() || dst >= egress_free_.size()) {
     throw std::out_of_range("Fabric::transmit: host id out of range");
   }
@@ -21,9 +23,18 @@ std::optional<sim::Time> Fabric::plan_transmit(HostId src, HostId dst,
       payload_bytes + cost_.segments(payload_bytes) * cost_.frame_overhead_bytes;
   bytes_on_wire_ += wire_bytes;
 
-  if (is_partitioned(src, dst) ||
-      (drop_rate_ > 0.0 && drop_rng_.chance(drop_rate_))) {
+  // Global and per-pair losses are independent events, rolled as one
+  // combined Bernoulli trial so a run with only the global rate set
+  // consumes the drop stream exactly as it always has.
+  double loss = drop_rate_;
+  if (!pair_drop_.empty()) {
+    if (auto it = pair_drop_.find(ordered(src, dst)); it != pair_drop_.end()) {
+      loss = 1.0 - (1.0 - loss) * (1.0 - it->second);
+    }
+  }
+  if (is_partitioned(src, dst) || (loss > 0.0 && drop_rng_.chance(loss))) {
     ++frames_dropped_;
+    stats::counter_add("fabric.frames_dropped");
     return std::nullopt;
   }
 
@@ -42,8 +53,43 @@ std::optional<sim::Time> Fabric::plan_transmit(HostId src, HostId dst,
     }
   }
 
+  TxPlan plan;
+  // Each fault die only rolls when its rate is armed, so fault-free runs
+  // replay bit-identically whether or not this code exists.
+  if (corrupt_rate_ > 0.0 && fault_rng_.chance(corrupt_rate_)) {
+    plan.fault.corrupt = true;
+    plan.fault.corrupt_offset = static_cast<std::uint32_t>(fault_rng_.next());
+    plan.fault.corrupt_mask =
+        static_cast<std::uint8_t>(fault_rng_.next_in(1, 255));
+    ++frames_corrupted_;
+    stats::counter_add("fabric.frames_corrupted");
+  }
+  if (reorder_rate_ > 0.0 && fault_rng_.chance(reorder_rate_)) {
+    // Holding this frame back past its successors' arrivals is what
+    // reordering *is* on a store-and-forward network.
+    arrival += reorder_delay_;
+    ++frames_reordered_;
+    stats::counter_add("fabric.frames_reordered");
+  }
+  plan.arrival = arrival;
+  if (duplicate_rate_ > 0.0 && fault_rng_.chance(duplicate_rate_)) {
+    // The ghost copy trails the original by a propagation delay, as if a
+    // switch replayed it.
+    plan.dup_arrival = arrival + cost_.propagation + 1;
+    ++frames_duplicated_;
+    stats::counter_add("fabric.frames_duplicated");
+  }
+
   ++frames_delivered_;
-  return arrival;
+  return plan;
+}
+
+void Fabric::set_pair_drop_rate(HostId a, HostId b, double p) {
+  if (p <= 0.0) {
+    pair_drop_.erase(ordered(a, b));
+  } else {
+    pair_drop_[ordered(a, b)] = p;
+  }
 }
 
 void Fabric::set_partitioned(HostId a, HostId b, bool blocked) {
@@ -59,5 +105,7 @@ bool Fabric::is_partitioned(HostId a, HostId b) const {
 void Fabric::set_extra_delay(HostId a, HostId b, sim::Time delay) {
   extra_delay_[ordered(a, b)] = delay;
 }
+
+void Fabric::reseed_faults(std::uint64_t seed) { fault_rng_ = Rng(seed); }
 
 }  // namespace rubin::net

@@ -5,8 +5,16 @@
 // A Fabric knows nothing about protocols. Transports (tcpsim, verbs) hand
 // it frames — a wire size plus an arbitrary delivery action — and it
 // models egress serialization (one frame at a time per host egress port),
-// propagation, and optional fault injection (drops, partitions, extra
-// delay). Delivery actions run at the destination's arrival instant.
+// propagation, and optional fault injection: drops (global or per-pair),
+// partitions, extra delay, payload corruption, duplication, and
+// reordering. Delivery actions run at the destination's arrival instant.
+//
+// Corruption needs payload access the fabric does not have (delivery
+// actions are opaque), so it is a *verdict*: the plan says which byte to
+// flip, and fault-aware callers (the verbs layer) apply it to their
+// payload copy. Callers whose delivery action takes no FrameFault get
+// checksum semantics instead — a corrupted frame is discarded on arrival,
+// which is what an Ethernet FCS does for the TCP stack.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +31,18 @@
 namespace rubin::net {
 
 using HostId = std::uint32_t;
+
+/// Per-frame fault verdict handed to fault-aware delivery actions.
+struct FrameFault {
+  /// Flip `corrupt_mask` into payload byte `corrupt_offset % size`.
+  bool corrupt = false;
+  /// This delivery is the ghost copy of a duplicated frame. Receivers with
+  /// duplicate elimination (RC PSN tracking) must not complete or consume
+  /// anything for it.
+  bool duplicate = false;
+  std::uint32_t corrupt_offset = 0;
+  std::uint8_t corrupt_mask = 0;
+};
 
 class Fabric {
  public:
@@ -41,28 +61,81 @@ class Fabric {
   /// Forwarding template: the delivery action reaches the simulator's
   /// schedule slot without ever being type-erased into an intermediate
   /// UniqueFunction (DESIGN.md §5 "kernel fast paths").
+  ///
+  /// Delivery actions invocable with `const FrameFault&` receive the fault
+  /// verdict (corruption to apply, duplicate marker); plain actions get
+  /// checksum semantics — corrupted frames are discarded before delivery.
+  /// Duplication re-runs a *copy* of the action at a later instant, so it
+  /// only applies to copyable actions.
   template <typename F>
-    requires std::is_invocable_v<std::decay_t<F>&>
+    requires std::is_invocable_v<std::decay_t<F>&> ||
+             std::is_invocable_v<std::decay_t<F>&, const FrameFault&>
   void transmit(HostId src, HostId dst, std::size_t payload_bytes,
                 F&& deliver) {
-    if (const auto arrival = plan_transmit(src, dst, payload_bytes)) {
-      sim_->schedule_at(*arrival, std::forward<F>(deliver));
+    const auto plan = plan_transmit(src, dst, payload_bytes);
+    if (!plan) return;  // dropped / partitioned: `deliver` stays unrun
+    constexpr bool kFaultAware =
+        std::is_invocable_v<std::decay_t<F>&, const FrameFault&>;
+    if constexpr (kFaultAware) {
+      if (plan->dup_arrival) {
+        if constexpr (std::is_copy_constructible_v<std::decay_t<F>>) {
+          std::decay_t<F> ghost(deliver);
+          sim_->schedule_at(*plan->dup_arrival,
+                            [ghost = std::move(ghost)]() mutable {
+                              FrameFault f;
+                              f.duplicate = true;
+                              ghost(f);
+                            });
+        }
+      }
+      sim_->schedule_at(plan->arrival,
+                        [d = std::forward<F>(deliver),
+                         f = plan->fault]() mutable { d(f); });
+    } else {
+      if (plan->fault.corrupt) return;  // FCS discard for checksummed stacks
+      if (plan->dup_arrival) {
+        // A duplicated frame through a checksummed stack is re-delivered;
+        // TCP's sequence numbers absorb it. Only copyable actions can ride
+        // twice.
+        if constexpr (std::is_copy_constructible_v<std::decay_t<F>>) {
+          std::decay_t<F> ghost(deliver);
+          sim_->schedule_at(*plan->dup_arrival, std::move(ghost));
+        }
+      }
+      sim_->schedule_at(plan->arrival, std::forward<F>(deliver));
     }
-    // Dropped / partitioned: `deliver` stays with the caller, unrun.
   }
 
   // ---------------------------------------------------- fault injection --
   /// Independent per-frame drop probability (0 disables).
   void set_drop_rate(double p) { drop_rate_ = p; }
+  /// Additional drop probability for frames between a and b only (both
+  /// directions; 0 removes the entry). Composes with the global rate.
+  void set_pair_drop_rate(HostId a, HostId b, double p);
   /// Blocks (or unblocks) all frames between a and b, both directions.
   void set_partitioned(HostId a, HostId b, bool blocked);
   bool is_partitioned(HostId a, HostId b) const;
   /// Extra one-way delay applied to frames between a and b.
   void set_extra_delay(HostId a, HostId b, sim::Time delay);
+  /// Per-frame probability of a single-byte payload corruption (0
+  /// disables). Fault-aware receivers deliver the garbled payload —
+  /// integrity is the MAC layer's job; checksummed stacks discard.
+  void set_corrupt_rate(double p) { corrupt_rate_ = p; }
+  /// Per-frame probability of a ghost re-delivery (0 disables).
+  void set_duplicate_rate(double p) { duplicate_rate_ = p; }
+  /// Per-frame probability of holding a frame back by `reorder_delay` so
+  /// it lands behind later-sent frames (0 disables).
+  void set_reorder_rate(double p) { reorder_rate_ = p; }
+  void set_reorder_delay(sim::Time d) { reorder_delay_ = d; }
+  /// Reseeds the fault dice (FaultLab scenario replays pin this).
+  void reseed_faults(std::uint64_t seed);
 
   // ------------------------------------------------------------- stats ---
   std::uint64_t frames_delivered() const noexcept { return frames_delivered_; }
   std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
+  std::uint64_t frames_corrupted() const noexcept { return frames_corrupted_; }
+  std::uint64_t frames_duplicated() const noexcept { return frames_duplicated_; }
+  std::uint64_t frames_reordered() const noexcept { return frames_reordered_; }
   std::uint64_t bytes_on_wire() const noexcept { return bytes_on_wire_; }
 
  private:
@@ -70,21 +143,40 @@ class Fabric {
     return a < b ? std::pair{a, b} : std::pair{b, a};
   }
 
+  struct TxPlan {
+    sim::Time arrival = 0;
+    FrameFault fault;
+    /// Ghost delivery instant of a duplicated frame (strictly after
+    /// `arrival`).
+    std::optional<sim::Time> dup_arrival;
+  };
+
   /// Cost/fault bookkeeping for one frame: charges the egress port and
-  /// wire stats, rolls the drop dice, and returns the arrival instant —
+  /// wire stats, rolls the fault dice, and returns the delivery plan —
   /// or nullopt when the frame is dropped or the pair partitioned.
-  std::optional<sim::Time> plan_transmit(HostId src, HostId dst,
-                                         std::size_t payload_bytes);
+  std::optional<TxPlan> plan_transmit(HostId src, HostId dst,
+                                      std::size_t payload_bytes);
 
   sim::Simulator* sim_;
   CostModel cost_;
   std::vector<sim::Time> egress_free_;  // per-host egress port busy-until
   std::map<std::pair<HostId, HostId>, sim::Time> extra_delay_;
   std::map<std::pair<HostId, HostId>, bool> partitioned_;
+  std::map<std::pair<HostId, HostId>, double> pair_drop_;
   double drop_rate_ = 0.0;
+  double corrupt_rate_ = 0.0;
+  double duplicate_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
+  sim::Time reorder_delay_ = sim::microseconds(5);
   Rng drop_rng_{0x5eedF00dULL};
+  /// Separate stream for the corrupt/duplicate/reorder dice so enabling
+  /// them never perturbs the drop sequence existing tests pin.
+  Rng fault_rng_{0xFA017F00dULL};
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t frames_duplicated_ = 0;
+  std::uint64_t frames_reordered_ = 0;
   std::uint64_t bytes_on_wire_ = 0;
 };
 

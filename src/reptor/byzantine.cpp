@@ -1,0 +1,162 @@
+#include "reptor/byzantine.hpp"
+
+namespace rubin::reptor {
+
+namespace {
+
+class CrashStrategy final : public ByzantineStrategy {
+ public:
+  const char* name() const noexcept override { return "crash"; }
+  bool crashed() const noexcept override { return true; }
+};
+
+class SilentPrimary final : public ByzantineStrategy {
+ public:
+  const char* name() const noexcept override { return "silent-primary"; }
+  bool should_propose(ByzantineEnv&) override {
+    return false;  // accept requests, never order them
+  }
+};
+
+class EquivocatingPrimary final : public ByzantineStrategy {
+ public:
+  const char* name() const noexcept override { return "equivocating-primary"; }
+  bool on_pre_prepare(ByzantineEnv& env, const PrePrepare& pp) override {
+    // Equivocate hard enough to split every quorum: one backup gets the
+    // real batch, the rest get a *valid* empty-batch proposal for the
+    // same sequence. No digest reaches 2f prepares plus 2f+1 commits,
+    // agreement stalls, and the view change removes us. (A softer split
+    // — real batch to 2f backups — simply commits without the victims,
+    // which PBFT tolerates outright.)
+    PrePrepare alt = pp;
+    alt.batch.clear();
+    alt.digest = batch_digest(alt.batch);
+    const auto n = env.cfg.n;
+    const NodeId favoured = static_cast<NodeId>((env.view + 1) % n);
+    for (NodeId r = 0; r < n; ++r) {
+      if (r == env.cfg.self) continue;
+      const PrePrepare& variant = (r == favoured) ? pp : alt;
+      env.transport.send(r,
+                         encode_for_replicas(
+                             Envelope{env.cfg.self, Message{variant}},
+                             env.keys, n));
+    }
+    return false;  // the honest broadcast is replaced by the variants
+  }
+};
+
+class CorruptMacs final : public ByzantineStrategy {
+ public:
+  const char* name() const noexcept override { return "corrupt-macs"; }
+  bool on_broadcast(ByzantineEnv& env, const Message&,
+                    SharedBytes& frame) override {
+    // Garbage MACs toward even-numbered peers: the partial-authenticator
+    // attack. Slot r sits r*sizeof(Mac) bytes into the MAC block at the
+    // tail. The frame is still sole-owned here, so in-place mutation is
+    // safe.
+    const std::size_t macs_off = frame.size() - env.cfg.n * sizeof(Mac);
+    std::uint8_t* data = frame.mutable_data();
+    for (NodeId r = 0; r < env.cfg.n; r += 2) {
+      if (r == env.cfg.self) continue;
+      data[macs_off + r * sizeof(Mac)] ^= 0xA5;
+    }
+    return true;
+  }
+};
+
+class MuteReplica final : public ByzantineStrategy {
+ public:
+  const char* name() const noexcept override { return "mute"; }
+  bool on_broadcast(ByzantineEnv&, const Message&, SharedBytes&) override {
+    return false;
+  }
+  bool on_send(ByzantineEnv&, NodeId, SharedBytes&) override { return false; }
+};
+
+class Replayer final : public ByzantineStrategy {
+ public:
+  const char* name() const noexcept override { return "replayer"; }
+  bool on_broadcast(ByzantineEnv&, const Message&,
+                    SharedBytes& frame) override {
+    // Record the authentic frame (refcount bump) and let it go out.
+    if (recorded_.size() < kKeep) {
+      recorded_.push_back(frame);
+    } else {
+      recorded_[write_idx_++ % kKeep] = frame;
+    }
+    return true;
+  }
+  void on_tick(ByzantineEnv& env) override {
+    // Every few ticks, rebroadcast one recorded frame verbatim. The MACs
+    // are genuine, the content stale — PBFT's vote-set/dedup logic must
+    // absorb it without double-counting or re-executing.
+    if (recorded_.empty() || ++ticks_ % 4 != 0) return;
+    env.transport.broadcast_replicas(recorded_[replay_idx_++ %
+                                               recorded_.size()]);
+  }
+
+ private:
+  static constexpr std::size_t kKeep = 8;
+  std::vector<SharedBytes> recorded_;
+  std::size_t write_idx_ = 0;
+  std::size_t replay_idx_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+class StaleViewSpammer final : public ByzantineStrategy {
+ public:
+  const char* name() const noexcept override { return "stale-view-spammer"; }
+  void on_tick(ByzantineEnv& env) override {
+    if (++ticks_ % 8 != 0) return;
+    // One VIEW-CHANGE for the current view (stale: receivers require
+    // new_view > view and discard it) and one for the next (premature: it
+    // parks in vc_msgs_ but a single voice is below the f+1 join rule).
+    for (std::uint64_t target : {env.view, env.view + 1}) {
+      ViewChange vc;
+      vc.new_view = target;
+      vc.stable_seq = 0;
+      env.transport.broadcast_replicas(encode_for_replicas(
+          Envelope{env.cfg.self, Message{vc}}, env.keys, env.cfg.n));
+    }
+  }
+
+ private:
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<ByzantineStrategy> make_crash() {
+  return std::make_shared<CrashStrategy>();
+}
+std::shared_ptr<ByzantineStrategy> make_silent_primary() {
+  return std::make_shared<SilentPrimary>();
+}
+std::shared_ptr<ByzantineStrategy> make_equivocating_primary() {
+  return std::make_shared<EquivocatingPrimary>();
+}
+std::shared_ptr<ByzantineStrategy> make_corrupt_macs() {
+  return std::make_shared<CorruptMacs>();
+}
+std::shared_ptr<ByzantineStrategy> make_mute() {
+  return std::make_shared<MuteReplica>();
+}
+std::shared_ptr<ByzantineStrategy> make_replayer() {
+  return std::make_shared<Replayer>();
+}
+std::shared_ptr<ByzantineStrategy> make_stale_view_spammer() {
+  return std::make_shared<StaleViewSpammer>();
+}
+
+std::shared_ptr<ByzantineStrategy> make_strategy(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kHonest: return nullptr;
+    case FaultMode::kCrashed: return make_crash();
+    case FaultMode::kSilentPrimary: return make_silent_primary();
+    case FaultMode::kEquivocatingPrimary: return make_equivocating_primary();
+    case FaultMode::kCorruptMacs: return make_corrupt_macs();
+  }
+  return nullptr;
+}
+
+}  // namespace rubin::reptor

@@ -6,6 +6,7 @@
 #include "common/audit.hpp"
 #include "common/codec.hpp"
 #include "common/log.hpp"
+#include "reptor/byzantine.hpp"
 
 namespace rubin::reptor {
 
@@ -88,14 +89,25 @@ Replica::Replica(sim::Simulator& sim, std::unique_ptr<Transport> transport,
     lane_in_.push_back(std::make_unique<sim::Mailbox<SharedBytes>>(sim));
     lane_busy_.push_back(false);
   }
+  strategy_ = cfg_.strategy ? cfg_.strategy : make_strategy(cfg_.fault);
 }
 
 Replica::~Replica() = default;
 
+void Replica::inject_crash() { strategy_ = make_crash(); }
+
+bool Replica::crashed() const noexcept {
+  return strategy_ != nullptr && strategy_->crashed();
+}
+
+void Replica::set_strategy(std::shared_ptr<ByzantineStrategy> strategy) {
+  strategy_ = std::move(strategy);
+}
+
 sim::Task<void> Replica::run() {
   co_await transport_->start();
-  if (cfg_.fault == FaultMode::kCrashed) {
-    // Crash-stop: present on the network, forever silent.
+  if (crashed()) {
+    // Crash-stop from the start: present on the network, forever silent.
     while (running_) co_await sim_->sleep(sim::milliseconds(1));
     co_return;
   }
@@ -116,17 +128,22 @@ sim::Task<void> Replica::run() {
 
 sim::Task<void> Replica::dispatcher_loop() {
   while (running_) {
-    if (crashed_) {
+    if (crashed()) {
       // Injected crash-stop: drain silently, send nothing, do nothing.
       (void)co_await transport_->poll(sim::milliseconds(1));
       continue;
     }
     const auto msgs = co_await transport_->poll(next_timeout());
     for (const InboundMsg& m : msgs) {
-      if (!crashed_) route(m);
+      if (crashed()) break;  // a strategy swap mid-batch takes effect now
+      if (strategy_ != nullptr) {
+        ByzantineEnv env{*sim_, *transport_, keys_, cfg_, view_};
+        if (!strategy_->on_inbound(env, m)) continue;
+      }
+      route(m);
     }
     co_await lanes_idle();
-    if (crashed_) continue;
+    if (crashed()) continue;
     co_await execute_ready();
     co_await handle_timers();
   }
@@ -253,7 +270,14 @@ sim::Task<void> Replica::handle_request(const Envelope& env,
     // vouch for the client) — and start the "is the primary making
     // progress?" watchdog. Sharing the handle: no relay copy.
     if (awaiting_.insert({req.client, req.id}).second) {
-      transport_->send(primary_of(view_), frame);
+      bool relay = true;
+      if (strategy_ != nullptr) {
+        // Routed through the send hook so a mute replica drops relays too.
+        SharedBytes copy = frame;
+        ByzantineEnv benv{*sim_, *transport_, keys_, cfg_, view_};
+        relay = strategy_->on_send(benv, primary_of(view_), copy);
+      }
+      if (relay) transport_->send(primary_of(view_), frame);
       arm_vc_timer();
     }
   }
@@ -261,10 +285,13 @@ sim::Task<void> Replica::handle_request(const Envelope& env,
 }
 
 sim::Task<void> Replica::propose_batch() {
-  if (cfg_.fault == FaultMode::kSilentPrimary) {
-    pending_.clear();  // accept, then stall — the liveness attack
-    batch_deadline_ = -1;
-    co_return;
+  if (strategy_ != nullptr) {
+    ByzantineEnv env{*sim_, *transport_, keys_, cfg_, view_};
+    if (!strategy_->should_propose(env)) {
+      pending_.clear();  // accept, then stall — the liveness attack
+      batch_deadline_ = -1;
+      co_return;
+    }
   }
   while (!pending_.empty() && in_window(next_seq_)) {
     const std::size_t take = std::min<std::size_t>(cfg_.batch_size, pending_.size());
@@ -284,27 +311,14 @@ sim::Task<void> Replica::propose_batch() {
     entry.view = view_;
     entry.pp = pp;
 
-    if (cfg_.fault == FaultMode::kEquivocatingPrimary) {
-      // Equivocate hard enough to split every quorum: one backup gets the
-      // real batch, the rest get a *valid* empty-batch proposal for the
-      // same sequence. No digest reaches 2f prepares plus 2f+1 commits,
-      // agreement stalls, and the view change removes us. (A softer split
-      // — real batch to 2f backups — simply commits without the victims,
-      // which PBFT tolerates outright.)
-      PrePrepare alt = pp;
-      alt.batch.clear();
-      alt.digest = batch_digest(alt.batch);
-      const NodeId favoured = primary_of(view_ + 1);
-      for (NodeId r = 0; r < cfg_.n; ++r) {
-        if (r == cfg_.self) continue;
-        const PrePrepare& variant = (r == favoured) ? pp : alt;
-        transport_->send(r, encode_for_replicas(
-                                Envelope{cfg_.self, Message{variant}},
-                                keys_, cfg_.n));
-      }
-    } else {
-      send_to_replicas(Message{pp});
+    bool broadcast_honestly = true;
+    if (strategy_ != nullptr) {
+      // Equivocating strategies send their own per-peer variants and
+      // suppress the honest broadcast.
+      ByzantineEnv env{*sim_, *transport_, keys_, cfg_, view_};
+      broadcast_honestly = strategy_->on_pre_prepare(env, pp);
     }
+    if (broadcast_honestly) send_to_replicas(Message{pp});
     arm_vc_timer();
   }
   batch_deadline_ = pending_.empty() ? -1 : sim_->now() + cfg_.batch_timeout;
@@ -408,6 +422,7 @@ sim::Task<void> Replica::execute_ready() {
     RUBIN_AUDIT_ASSERT("reptor", entry.pp.has_value() && entry.committed,
                        "executing an entry without a committed proposal at "
                        "seq " + std::to_string(it->first));
+    if (commit_observer_) commit_observer_(it->first, *entry.pp);
     for (const Request& req : entry.pp->batch) {
       auto& rec = clients_[req.client];
       if (req.id <= rec.last_id) continue;  // duplicate across batches
@@ -436,6 +451,7 @@ sim::Task<void> Replica::execute_ready() {
         stored_checkpoints_.erase(stored_checkpoints_.begin());
       }
       send_to_replicas(Message{cp});
+      last_checkpoint_ = cp;
       checkpoints_[cp.seq][{cp.state, cp.clients}].insert(cfg_.self);
       handle_checkpoint_quorum(cp.seq, {cp.state, cp.clients});
     }
@@ -591,7 +607,7 @@ void Replica::maybe_complete_view_change(std::uint64_t target) {
   enter_view(target);
   next_seq_ = max_seq + 1;
   for (const PrePrepare& pp : nv.pre_prepares) {
-    if (pp.seq <= last_executed_) continue;
+    if (reaffirm_decided(target, pp)) continue;
     LogEntry& entry = log_[pp.seq];
     if (entry.executed || entry.committed) continue;
     entry = LogEntry{};
@@ -616,7 +632,7 @@ sim::Task<void> Replica::handle_new_view(const Envelope& env) {
 
   enter_view(nv.view);
   for (const PrePrepare& pp : nv.pre_prepares) {
-    if (pp.seq <= last_executed_) continue;
+    if (reaffirm_decided(nv.view, pp)) continue;
     LogEntry& entry = log_[pp.seq];
     if (entry.committed || entry.executed) continue;
     entry = LogEntry{};
@@ -628,6 +644,26 @@ sim::Task<void> Replica::handle_new_view(const Envelope& env) {
   }
   if (outstanding_work()) arm_vc_timer();
   co_return;
+}
+
+bool Replica::reaffirm_decided(std::uint64_t v, const PrePrepare& pp) {
+  if (pp.seq > last_executed_) {
+    const auto it = log_.find(pp.seq);
+    if (it == log_.end() || !it->second.committed) return false;
+  }
+  // This sequence is already decided here, so agreement will not run
+  // again locally — but peers that fell behind (lost frames, partitions)
+  // still need a 2f+1 quorum *in the new view* to commit the re-issue.
+  // Re-affirm the decided value with a PREPARE + COMMIT, and only when
+  // the re-issue matches the batch this replica accepted: a conflicting
+  // re-issue must never get this replica's vote against its own history.
+  const auto it = log_.find(pp.seq);
+  if (it != log_.end() && it->second.pp &&
+      it->second.pp->digest == pp.digest) {
+    send_to_replicas(Message{Prepare{v, pp.seq, pp.digest}});
+    send_to_replicas(Message{Commit{v, pp.seq, pp.digest}});
+  }
+  return true;
 }
 
 void Replica::enter_view(std::uint64_t v) {
@@ -643,29 +679,34 @@ void Replica::enter_view(std::uint64_t v) {
   });
   // Stale view-change bookkeeping.
   std::erase_if(vc_msgs_, [&](const auto& kv) { return kv.first <= v; });
+  // Retry edge for lost checkpoint votes: re-broadcast our newest one
+  // while the group's stable point still lags it. Bounded (one message
+  // per view entry) and idempotent (vote sets dedup by sender).
+  if (last_checkpoint_ && last_checkpoint_->seq > stable_) {
+    send_to_replicas(Message{*last_checkpoint_});
+  }
 }
 
 // -------------------------------------------------------------- plumbing -
 
 void Replica::send_to_replicas(const Message& m) {
   SharedBytes frame = encode_for_replicas(Envelope{cfg_.self, m}, keys_, cfg_.n);
-  if (cfg_.fault == FaultMode::kCorruptMacs) {
-    // Garbage MACs toward even-numbered peers: the partial-authenticator
-    // attack. Slot r sits r*8 bytes into the MAC block at the tail. The
-    // frame is still sole-owned here, so in-place mutation is safe.
-    const std::size_t macs_off = frame.size() - cfg_.n * sizeof(Mac);
-    std::uint8_t* data = frame.mutable_data();
-    for (NodeId r = 0; r < cfg_.n; r += 2) {
-      if (r == cfg_.self) continue;
-      data[macs_off + r * sizeof(Mac)] ^= 0xA5;
-    }
+  if (strategy_ != nullptr) {
+    // Strategies may mutate the (still sole-owned) frame — MAC corruption
+    // — record it for replay, or suppress it entirely (mute).
+    ByzantineEnv env{*sim_, *transport_, keys_, cfg_, view_};
+    if (!strategy_->on_broadcast(env, m, frame)) return;
   }
   transport_->broadcast_replicas(frame);
 }
 
 void Replica::send_to(NodeId peer, const Message& m) {
-  transport_->send(peer,
-                   encode_for_peer(Envelope{cfg_.self, m}, keys_, peer));
+  SharedBytes frame = encode_for_peer(Envelope{cfg_.self, m}, keys_, peer);
+  if (strategy_ != nullptr) {
+    ByzantineEnv env{*sim_, *transport_, keys_, cfg_, view_};
+    if (!strategy_->on_send(env, peer, frame)) return;
+  }
+  transport_->send(peer, std::move(frame));
 }
 
 sim::Time Replica::next_timeout() const {
@@ -692,6 +733,11 @@ sim::Task<void> Replica::handle_timers() {
     disarm_vc_timer();
   }
   maybe_request_state();
+  if (strategy_ != nullptr) {
+    // Time-driven attacks (replay, view-change spam) emit here.
+    ByzantineEnv env{*sim_, *transport_, keys_, cfg_, view_};
+    strategy_->on_tick(env);
+  }
   co_return;
 }
 

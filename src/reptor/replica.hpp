@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -42,8 +43,12 @@
 
 namespace rubin::reptor {
 
-/// Byzantine behaviours a replica can be configured with (fault-injection
-/// tests and the demo example).
+class ByzantineStrategy;
+
+/// Built-in Byzantine behaviours a replica can be configured with by name
+/// (mapped onto ByzantineStrategy instances — see reptor/byzantine.hpp,
+/// which also offers strategies with no FaultMode alias: mute, replayer,
+/// stale-view spammer).
 enum class FaultMode : std::uint8_t {
   kHonest,
   /// Crash-stop from the beginning: connects, then never speaks.
@@ -74,6 +79,9 @@ struct ReplicaConfig {
   std::uint32_t pipelines = 1;  // COP lanes (== cores devoted to agreement)
   ProtocolCosts costs;
   FaultMode fault = FaultMode::kHonest;
+  /// Takes precedence over `fault` when set; FaultLab scenarios install
+  /// strategies here (a fresh instance per run keeps replays identical).
+  std::shared_ptr<ByzantineStrategy> strategy;
 };
 
 struct ReplicaStats {
@@ -100,8 +108,26 @@ class Replica {
 
   /// Crash-stops the replica *now* (fault-injection while running): it
   /// keeps draining the network silently but never speaks again.
-  void inject_crash() noexcept { crashed_ = true; }
-  bool crashed() const noexcept { return crashed_; }
+  /// Equivalent to set_strategy(make_crash()).
+  void inject_crash();
+  bool crashed() const noexcept;
+
+  /// Installs (or clears, with nullptr) the Byzantine behaviour at
+  /// runtime. FaultLab scenarios use this to turn a replica adversarial
+  /// mid-run.
+  void set_strategy(std::shared_ptr<ByzantineStrategy> strategy);
+  const ByzantineStrategy* strategy() const noexcept {
+    return strategy_.get();
+  }
+
+  /// Observer invoked whenever a committed batch is about to execute:
+  /// (sequence, the accepted PRE-PREPARE). FaultLab's checker records
+  /// per-replica commit logs through this without touching protocol state.
+  using CommitObserver =
+      std::function<void(std::uint64_t seq, const PrePrepare& pp)>;
+  void set_commit_observer(CommitObserver obs) {
+    commit_observer_ = std::move(obs);
+  }
 
   // ------------------------------------------------------ introspection --
   std::uint64_t view() const noexcept { return view_; }
@@ -169,6 +195,11 @@ class Replica {
   void send_to(NodeId peer, const Message& m);
   void start_view_change(std::uint64_t target);
   void maybe_complete_view_change(std::uint64_t target);
+  /// A sequence re-issued by a NEW-VIEW that this replica already decided
+  /// (committed or executed): re-send PREPARE+COMMIT for it in view `v`
+  /// so lagging peers can re-form their quorum. Returns true when the
+  /// sequence was decided here and needs no fresh agreement.
+  bool reaffirm_decided(std::uint64_t v, const PrePrepare& pp);
   void enter_view(std::uint64_t v);
   void arm_vc_timer();
   void disarm_vc_timer();
@@ -185,7 +216,8 @@ class Replica {
   std::unique_ptr<StateMachine> app_;
   ReplicaConfig cfg_;
   bool running_ = true;
-  bool crashed_ = false;
+  std::shared_ptr<ByzantineStrategy> strategy_;  // null == honest
+  CommitObserver commit_observer_;
 
   // Protocol state.
   std::uint64_t view_ = 0;
@@ -210,6 +242,12 @@ class Replica {
   /// Checkpoint digests that reached a 2f+1 quorum — the only snapshots a
   /// state transfer will install.
   std::map<std::uint64_t, std::pair<Digest, Digest>> proven_checkpoints_;
+  /// The newest checkpoint vote this replica broadcast. Checkpoint
+  /// messages lost in flight are otherwise never retransmitted, and a
+  /// group whose stable checkpoint cannot advance can neither
+  /// garbage-collect nor serve state transfers — so view entry re-sends
+  /// this vote while it is still ahead of the stable point.
+  std::optional<Checkpoint> last_checkpoint_;
   sim::Time next_state_request_ = -1;
   std::uint32_t state_request_attempts_ = 0;
 

@@ -72,7 +72,7 @@ void RubinTransport::redial(NodeId peer) {
 
 sim::Task<void> RubinTransport::maintain_connections() {
   const sim::Time now = ctx_->simulator().now();
-  const sim::Time redial_backoff = sim::milliseconds(1);
+  constexpr sim::Time kMaxBackoff = sim::milliseconds(16);
   const sim::Time connect_timeout = sim::milliseconds(3);
   for (auto& [peer, conn] : conns_) {
     if (!conn.channel) continue;
@@ -81,14 +81,21 @@ sim::Task<void> RubinTransport::maintain_connections() {
       const bool dead = state == nio::RdmaChannel::State::kClosed;
       const bool stuck = state == nio::RdmaChannel::State::kConnecting &&
                          now - conn.dial_time > connect_timeout;
-      if ((dead || stuck) && now - conn.dial_time > redial_backoff) {
+      if ((dead || stuck) && now - conn.dial_time > conn.backoff) {
+        // Capped exponential backoff: a persistently failing peer (still
+        // partitioned, QP repeatedly erroring) is probed ever more gently
+        // instead of flooding the fabric with SYNs.
+        conn.backoff = std::min<sim::Time>(conn.backoff * 2, kMaxBackoff);
         redial(peer);
         continue;
       }
-      if (state == nio::RdmaChannel::State::kEstablished && !conn.hello_sent) {
-        // The hello must precede any protocol frame on the new channel.
-        const Bytes hello = hello_frame(self_);
-        if (co_await conn.channel->write(hello) > 0) conn.hello_sent = true;
+      if (state == nio::RdmaChannel::State::kEstablished) {
+        conn.backoff = sim::milliseconds(1);
+        if (!conn.hello_sent) {
+          // The hello must precede any protocol frame on the new channel.
+          const Bytes hello = hello_frame(self_);
+          if (co_await conn.channel->write(hello) > 0) conn.hello_sent = true;
+        }
       }
     } else if (state == nio::RdmaChannel::State::kClosed) {
       // Acceptor side: drop the dead channel and wait for the dialer's
@@ -168,8 +175,19 @@ sim::Task<void> RubinTransport::drain_channel(nio::RdmaChannel& ch,
     if (frame.empty()) break;
     stats_.bytes_received += frame.size();
     if (attachment == kAttachUnidentified) {
-      // First frame on an accepted connection: the peer's hello.
+      // First frame on an accepted connection: the peer's hello. Under
+      // fault injection the first frame can be something else entirely —
+      // a reordered protocol frame or a corrupted hello — and a garbage
+      // peer id would wedge this connection forever. Validate and drop
+      // the channel instead; the dialer's backoff redials.
       const NodeId peer = parse_hello(frame.view());
+      if (frame.size() != 4 || peer >= layout_.hosts.size() || peer == self_) {
+        if (auto* key = selector_.find_key(ch.id())) key->cancel();
+        ch.close();
+        std::erase_if(unidentified_,
+                      [&](const auto& c) { return c.get() == &ch; });
+        break;
+      }
       adopt_channel(peer, ch.shared_from_this());
       std::erase_if(unidentified_,
                     [&](const auto& c) { return c.get() == &ch; });

@@ -47,6 +47,10 @@ class RubinTransport final : public Transport {
     // transmitted it. The old heuristic retirement ring is gone.
     bool hello_sent = true;     // false while a (re)dialed hello is pending
     sim::Time dial_time = 0;    // last connect attempt (redial throttle)
+    /// Capped exponential redial backoff: doubles on every failed attempt
+    /// (dead or stuck channel), resets once a connection establishes. This
+    /// is what makes a QP error survivable instead of a redial storm.
+    sim::Time backoff = sim::milliseconds(1);
   };
 
   sim::Task<void> flush();

@@ -21,15 +21,27 @@ RdmaChannel::~RdmaChannel() {
   // longer complete them once the QP dies with the channel, and the
   // pool's leak-at-destruction audit should only report slots the
   // application truly lost.
-  if (send_pool_ != nullptr) {
-    for (const OutstandingSend& o : outstanding_) {
-      if (o.pool_slot >= 0) {
-        send_pool_->release(static_cast<std::uint32_t>(o.pool_slot));
-        ++reclaimed_wrs_;
-      }
+  flush_outstanding();
+  for (auto& [base, mr] : send_mr_cache_) ctx_->pd().deregister(mr);
+}
+
+void RdmaChannel::flush_outstanding() {
+  while (!outstanding_.empty()) {
+    const OutstandingSend o = outstanding_.pop();
+    ++reclaimed_wrs_;
+    if (o.pool_slot >= 0 && send_pool_ != nullptr) {
+      send_pool_->release(static_cast<std::uint32_t>(o.pool_slot));
     }
   }
-  for (auto& [base, mr] : send_mr_cache_) ctx_->pd().deregister(mr);
+}
+
+void RdmaChannel::fail(verbs::WcStatus status) {
+  if (last_error_ == verbs::WcStatus::kSuccess) {
+    last_error_ = status;
+    RUBIN_AUDIT_COUNT("channel.completion_errors", 1);
+  }
+  flush_outstanding();
+  close();
 }
 
 void RdmaChannel::init_qp() {
@@ -97,9 +109,12 @@ void RdmaChannel::pump() {
   if (send_cq_ == nullptr) return;
   for (const verbs::Completion& c : send_cq_->poll(64)) {
     if (c.status != verbs::WcStatus::kSuccess) {
-      state_ = State::kClosed;
+      fail(c.status);
       continue;
     }
+    // Flush residue: a success CQE polled after a failure in the same
+    // batch has no outstanding WR left to match (fail() reclaimed them).
+    if (state_ == State::kClosed) continue;
     ++stats_.signaled_completions;
     // In-order reclamation: this signaled completion covers every earlier
     // unsignaled WR (selective signaling, §IV).
@@ -123,9 +138,10 @@ void RdmaChannel::pump() {
   }
   for (const verbs::Completion& c : recv_cq_->poll(64)) {
     if (c.status != verbs::WcStatus::kSuccess) {
-      state_ = State::kClosed;
+      fail(c.status);
       continue;
     }
+    if (state_ == State::kClosed) continue;
     filled_.push(FilledRecv{static_cast<std::uint32_t>(c.wr_id), c.byte_len,
                             c.payload});
     ++stats_.messages_received;
@@ -281,7 +297,8 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<ByteView> msgs) {
   const verbs::PostResult r = co_await qp_->post_send(std::move(wrs));
   if (r != verbs::PostResult::kOk) {
     // Capacity was checked per message; a failure here means the QP died.
-    state_ = State::kClosed;
+    // The staged WRs were never posted and will never complete.
+    fail(verbs::WcStatus::kWorkRequestFlushed);
     co_return 0;
   }
   co_return accepted;
@@ -314,7 +331,7 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<SharedBytes> msgs) {
   ++stats_.doorbells;
   const verbs::PostResult r = co_await qp_->post_send(std::move(wrs));
   if (r != verbs::PostResult::kOk) {
-    state_ = State::kClosed;
+    fail(verbs::WcStatus::kWorkRequestFlushed);
     co_return 0;
   }
   co_return accepted;

@@ -117,6 +117,11 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   /// read() == 0 and state() == kClosed.
   void close();
 
+  /// First non-success completion status observed on either CQ (kSuccess
+  /// while the channel is healthy). A failed channel is closed — the error
+  /// surfaces as selector readiness, never as a silent success.
+  verbs::WcStatus last_error() const noexcept { return last_error_; }
+
   ~RdmaChannel();
 
  private:
@@ -136,6 +141,13 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   /// slots) and re-arms them.
   void pump();
   void notify();
+  /// Error path shared by pump() and failed posts: records the first
+  /// failure status, reclaims every in-flight WR (the hardware will never
+  /// complete them on a dead QP), and closes — which is what makes the
+  /// selector report the channel instead of the error vanishing.
+  void fail(verbs::WcStatus status);
+  /// Returns outstanding WRs' pool slots and settles the WR accounting.
+  void flush_outstanding();
 
   struct OutstandingSend {
     std::int32_t pool_slot = -1;  // -1: inline or zero-copy (no pool slot)
@@ -163,6 +175,7 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   std::uint64_t id_;
   ChannelConfig cfg_;
   State state_ = State::kConnecting;
+  verbs::WcStatus last_error_ = verbs::WcStatus::kSuccess;
 
   verbs::CompletionChannel* comp_channel_ = nullptr;
   verbs::CompletionQueue* send_cq_ = nullptr;

@@ -76,6 +76,11 @@ class OneSidedChannel {
   /// (exposed for the security-demonstration tests).
   std::uint32_t ring_rkey() const noexcept { return ring_mr_->rkey(); }
   std::uint64_t ring_addr() const noexcept { return ring_mr_->addr(); }
+  /// The credit cell — the *other* remotely writable word on this
+  /// endpoint; forging it attacks flow control rather than payloads
+  /// (exposed for the forged-credit security test).
+  std::uint32_t credit_rkey() const noexcept { return credit_mr_->rkey(); }
+  std::uint64_t credit_addr() const noexcept { return credit_mr_->addr(); }
   verbs::QueuePair& qp() noexcept { return *qp_; }
 
  private:

@@ -70,6 +70,22 @@ sim::Time Device::nic_admit(sim::Time ready, sim::Time work) {
   return nic_free_;
 }
 
+std::size_t Device::inject_qp_errors() {
+  std::size_t faulted = 0;
+  for (auto& [qpn, weak] : qps_) {
+    if (auto qp = weak.lock(); qp && qp->state() != QpState::kError) {
+      qp->set_error();
+      ++faulted;
+    }
+  }
+  return faulted;
+}
+
+void Device::inject_nic_stall(sim::Time duration) {
+  const sim::Time now = simulator().now();
+  nic_free_ = std::max(nic_free_, now + duration);
+}
+
 // ----------------------------------------------------------- QueuePair ---
 
 QueuePair::QueuePair(Device& dev, ProtectionDomain& pd,
@@ -205,15 +221,36 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
           wr.opcode == Opcode::kRdmaRead ? 28 : payload.size();
       dev_->fabric().transmit(
           dev_->host(), rdev->host(), wire_len,
-          [self, wr, rdev, rqpn, payload = std::move(payload)]() mutable {
+          [self, wr, rdev, rqpn, payload = std::move(payload)](
+              const net::FrameFault& fault) mutable {
+            // Fabric fault verdicts, RC semantics. A duplicated frame
+            // carries a PSN the responder has already acked: everything
+            // but an RDMA WRITE (whose DMA is idempotent and completes
+            // nothing on re-execution) is discarded, and the ghost never
+            // completes the sender's WR a second time.
+            if (fault.duplicate && wr.opcode != Opcode::kRdmaWrite) {
+              RUBIN_AUDIT_COUNT("verbs.duplicate_discarded", 1);
+              return;
+            }
             auto sender = self.lock();
             auto target = rdev->find_qp(rqpn);
             if (target == nullptr || target->state_ == QpState::kError) {
-              if (sender) {
+              if (sender && !fault.duplicate) {
                 sender->complete_send(wr.wr_id, wr.opcode,
                                       WcStatus::kRemoteOperationError, true);
               }
               return;
+            }
+            if (fault.corrupt) {
+              // A garbled header-only frame (READ request) fails the ICRC
+              // and is dropped — the transport watchdog notices. A garbled
+              // payload is delivered: detecting it is the MAC layer's job,
+              // which is exactly what FaultLab scenarios assert.
+              if (wr.opcode == Opcode::kRdmaRead || payload.empty()) return;
+              SharedBytes garbled = SharedBytes::copy_of(payload.view());
+              garbled.mutable_data()[fault.corrupt_offset % garbled.size()] ^=
+                  fault.corrupt_mask;
+              payload = std::move(garbled);
             }
             switch (wr.opcode) {
               case Opcode::kSend:
@@ -221,9 +258,10 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
                     std::move(payload), self, wr.wr_id, wr.signaled, 0, 0});
                 break;
               case Opcode::kRdmaWrite:
-                target->on_write_arrival(wr.rkey, wr.remote_addr,
-                                         std::move(payload), self, wr.wr_id,
-                                         wr.signaled);
+                target->on_write_arrival(
+                    wr.rkey, wr.remote_addr, std::move(payload),
+                    fault.duplicate ? std::weak_ptr<QueuePair>{} : self,
+                    wr.wr_id, wr.signaled && !fault.duplicate);
                 break;
               case Opcode::kRdmaRead:
                 target->on_read_request(wr.remote_addr, wr.rkey, wr.sge.length,
@@ -458,7 +496,17 @@ void QueuePair::on_read_request(std::uint64_t remote_addr, std::uint32_t rkey,
     if (q == nullptr) return;
     rdev->fabric().transmit(
         rdev->host(), q->device().host(), length,
-        [sender, wr_id, payload = std::move(payload)]() mutable {
+        [sender, wr_id, payload = std::move(payload)](
+            const net::FrameFault& fault) mutable {
+          // Duplicate read responses carry an already-acked PSN: discard.
+          if (fault.duplicate) {
+            RUBIN_AUDIT_COUNT("verbs.duplicate_discarded", 1);
+            return;
+          }
+          if (fault.corrupt && !payload.empty()) {
+            payload[fault.corrupt_offset % payload.size()] ^=
+                fault.corrupt_mask;
+          }
           auto qp = sender.lock();
           if (qp == nullptr) return;
           qp->complete_read_response(wr_id, std::move(payload));

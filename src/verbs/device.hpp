@@ -180,6 +180,15 @@ class Device {
   /// time of a job needing `work` ns that becomes ready at `ready`.
   sim::Time nic_admit(sim::Time ready, sim::Time work);
 
+  /// FaultLab: transitions every live QP on this device to the error
+  /// state (flushed completions and all — as if the NIC firmware reset).
+  /// Returns how many QPs were faulted.
+  std::size_t inject_qp_errors();
+
+  /// FaultLab: stalls the NIC engine for `duration` of virtual time — all
+  /// WQE processing, DMA, and responder work queues behind the stall.
+  void inject_nic_stall(sim::Time duration);
+
   /// Largest payload the device accepts inline (paper: device-dependent).
   std::uint32_t max_inline() const noexcept {
     return static_cast<std::uint32_t>(cost().max_inline);

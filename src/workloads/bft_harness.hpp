@@ -55,6 +55,14 @@ class BftHarness {
   sim::Simulator& sim() noexcept { return sim_; }
   net::Fabric& fabric() noexcept { return fabric_; }
   const GroupLayout& layout() const noexcept { return layout_; }
+  Backend backend() const noexcept { return backend_; }
+  std::uint32_t n_replicas() const noexcept { return n_; }
+  std::uint32_t n_clients() const noexcept { return n_clients_; }
+
+  /// RUBIN backend only: host h's simulated RNIC (FaultLab injects QP
+  /// errors and NIC stalls through this).
+  verbs::Device& device(net::HostId host) { return *devices_.at(host); }
+  bool has_devices() const noexcept { return !devices_.empty(); }
 
   std::unique_ptr<Transport> make_transport(NodeId id) {
     if (backend_ == Backend::kNio) {

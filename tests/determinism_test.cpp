@@ -9,6 +9,8 @@
 #include <string>
 
 #include "common/audit.hpp"
+#include "faultlab/corpus.hpp"
+#include "faultlab/lab.hpp"
 #include "workloads/bft_harness.hpp"
 #include "workloads/echo_kit.hpp"
 
@@ -95,6 +97,35 @@ TEST(Determinism, BftEndToEndReplaysBitIdentically) {
     const BftOutcome b = run_small_bft(backend);
     EXPECT_EQ(a.committed, 20u);
     EXPECT_TRUE(a == b) << "backend " << static_cast<int>(backend);
+  }
+}
+
+TEST(Determinism, FaultScenariosReplayBitIdentically) {
+  // Fault injection must not break the replay contract: the fabric's
+  // fault dice, the Byzantine strategies, and the checker's verdict are
+  // all pure functions of (scenario, seed). A divergence here means a
+  // fault path consulted wall-clock state or an unseeded RNG.
+  for (const char* name :
+       {"f1-lossy-fabric", "f1-byz-equivocating-primary"}) {
+    auto s1 = faultlab::find_scenario(name);
+    auto s2 = faultlab::find_scenario(name);
+    ASSERT_TRUE(s1.has_value() && s2.has_value());
+    faultlab::Lab la(std::move(*s1));
+    faultlab::Lab lb(std::move(*s2));
+    const faultlab::Report a = la.run();
+    const faultlab::Report b = lb.run();
+    EXPECT_EQ(a.verdict.commit_digest, b.verdict.commit_digest) << name;
+    EXPECT_EQ(a.verdict.safe, b.verdict.safe) << name;
+    EXPECT_EQ(a.verdict.live, b.verdict.live) << name;
+    EXPECT_EQ(a.verdict.recovery, b.verdict.recovery) << name;
+    EXPECT_EQ(a.completions, b.completions) << name;
+    EXPECT_EQ(a.client_retries, b.client_retries) << name;
+    EXPECT_EQ(a.final_view, b.final_view) << name;
+    EXPECT_EQ(a.finished_at, b.finished_at) << name;
+    EXPECT_EQ(a.frames_dropped, b.frames_dropped) << name;
+    EXPECT_EQ(a.frames_corrupted, b.frames_corrupted) << name;
+    EXPECT_EQ(a.frames_duplicated, b.frames_duplicated) << name;
+    EXPECT_EQ(a.frames_reordered, b.frames_reordered) << name;
   }
 }
 

@@ -1,0 +1,177 @@
+// FaultLab tests: the checker's safety/liveness verdicts in isolation,
+// full Lab scenario runs on both transport backends, and the fabric
+// fault counters' common/stats plumbing.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "faultlab/corpus.hpp"
+#include "faultlab/lab.hpp"
+
+namespace rubin::faultlab {
+namespace {
+
+reptor::PrePrepare make_pp(std::uint64_t seq, reptor::NodeId client,
+                           std::uint64_t id, const std::string& op) {
+  reptor::PrePrepare pp;
+  pp.seq = seq;
+  pp.batch.push_back(reptor::Request{client, id, to_bytes(op), false});
+  pp.digest = reptor::batch_digest(pp.batch);
+  return pp;
+}
+
+// ------------------------------------------------------ checker units --
+
+TEST(Checker, AgreeingCommitsAreSafe) {
+  Checker c({true, true, true, true});
+  c.expect_request(4, 1, to_bytes("add:1"));
+  const auto pp = make_pp(1, 4, 1, "add:1");
+  for (reptor::NodeId r = 0; r < 4; ++r) c.on_commit(r, 1, pp);
+  c.on_completion(sim::microseconds(50));
+  const Verdict v = c.finish(1, sim::milliseconds(1));
+  EXPECT_TRUE(v.safe);
+  EXPECT_TRUE(v.no_forgery);
+  EXPECT_TRUE(v.live);
+  EXPECT_TRUE(v.all_completed);
+  EXPECT_TRUE(v.detail.empty());
+  EXPECT_NE(v.commit_digest, 0u);
+}
+
+TEST(Checker, DivergentCommitsViolateSafety) {
+  Checker c({true, true, true, true});
+  c.expect_request(4, 1, to_bytes("add:1"));
+  c.expect_request(4, 2, to_bytes("add:2"));
+  c.on_commit(0, 1, make_pp(1, 4, 1, "add:1"));
+  c.on_commit(1, 1, make_pp(1, 4, 2, "add:2"));  // same seq, different value
+  EXPECT_EQ(c.divergences(), 1u);
+  const Verdict v = c.finish(0, sim::milliseconds(1));
+  EXPECT_FALSE(v.safe);
+  EXPECT_FALSE(v.detail.empty());
+  EXPECT_FALSE(v.accept(false));  // safety violations fail even when
+                                  // liveness is not expected
+}
+
+TEST(Checker, ByzantineReplicasCommitLogsAreIgnored) {
+  // Replica 3 is adversarial: whatever it claims to commit must not
+  // count as a safety divergence among the *correct* replicas.
+  Checker c({true, true, true, false});
+  c.expect_request(4, 1, to_bytes("add:1"));
+  const auto pp = make_pp(1, 4, 1, "add:1");
+  for (reptor::NodeId r = 0; r < 3; ++r) c.on_commit(r, 1, pp);
+  c.on_commit(3, 1, make_pp(1, 4, 9, "add:9"));  // the liar
+  EXPECT_EQ(c.divergences(), 0u);
+  EXPECT_TRUE(c.finish(0, sim::milliseconds(1)).safe);
+}
+
+TEST(Checker, UnissuedRequestIsAForgery) {
+  Checker c({true, true, true, true});
+  c.expect_request(4, 1, to_bytes("add:1"));
+  // Same (client, id) but different bytes: a corrupted frame that
+  // somehow reached execution.
+  c.on_commit(0, 1, make_pp(1, 4, 1, "add:666"));
+  EXPECT_EQ(c.forgeries(), 1u);
+  const Verdict v = c.finish(0, sim::milliseconds(1));
+  EXPECT_FALSE(v.no_forgery);
+  EXPECT_FALSE(v.accept(false));
+}
+
+TEST(Checker, RecoveryClockBoundsLiveness) {
+  // Completions before the fault don't count; the clock restart at 10ms
+  // makes the *next* completion the recovery measurement.
+  {
+    Checker c({true, true, true, true});
+    c.on_completion(sim::milliseconds(1));
+    c.restart_recovery_clock(sim::milliseconds(10));
+    c.on_completion(sim::milliseconds(12));
+    const Verdict v = c.finish(2, sim::milliseconds(5));
+    EXPECT_TRUE(v.live);
+    EXPECT_EQ(v.recovery, sim::milliseconds(2));
+  }
+  {
+    Checker c({true, true, true, true});
+    c.on_completion(sim::milliseconds(1));
+    c.restart_recovery_clock(sim::milliseconds(10));
+    c.on_completion(sim::milliseconds(40));  // past the 5ms bound
+    const Verdict v = c.finish(2, sim::milliseconds(5));
+    EXPECT_FALSE(v.live);
+    EXPECT_TRUE(v.safe);  // slow is not unsafe
+  }
+}
+
+TEST(Checker, IncompleteRunIsNotLive) {
+  Checker c({true, true, true, true});
+  c.on_completion(sim::milliseconds(1));
+  const Verdict v = c.finish(5, sim::seconds(1));
+  EXPECT_FALSE(v.all_completed);
+  EXPECT_FALSE(v.live);
+}
+
+// ------------------------------------------------------ scenario runs --
+
+TEST(Lab, CrashPrimaryScenarioPasses) {
+  auto s = find_scenario("f1-crash-primary");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_EQ(r.completions, r.expected_completions);
+  EXPECT_GE(r.final_view, 1u);  // the crash forced a view change
+  EXPECT_GE(r.verdict.recovery, 0);
+}
+
+TEST(Lab, CleanScenarioRunsOnNioBackend) {
+  auto s = find_scenario("f1-clean");
+  ASSERT_TRUE(s.has_value());
+  s->requests = 10;  // keep the TCP backend quick
+  Lab lab(std::move(*s), reptor::Backend::kNio);
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_EQ(r.completions, r.expected_completions);
+  EXPECT_EQ(r.frames_dropped + r.frames_corrupted, 0u);
+}
+
+TEST(Lab, ByzantinePrimaryScenarioPasses) {
+  auto s = find_scenario("f1-byz-equivocating-primary");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_GE(r.final_view, 1u);  // the equivocator was voted out
+}
+
+// ------------------------------------------- fault counters via stats --
+
+TEST(Lab, FabricFaultCountersFlowThroughStats) {
+  // The Report's counters are per-run deltas read from the fabric; the
+  // same events also feed the process-wide common/stats counters. After
+  // a reset the two views must agree exactly.
+  stats::reset_counters();
+  auto s = find_scenario("f1-lossy-fabric");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_GT(r.frames_dropped, 0u) << "lossy scenario injected no drops";
+  EXPECT_EQ(stats::counter_value("fabric.frames_dropped"), r.frames_dropped);
+  EXPECT_EQ(stats::counter_value("fabric.frames_corrupted"),
+            r.frames_corrupted);
+  EXPECT_EQ(stats::counter_value("fabric.frames_duplicated"),
+            r.frames_duplicated);
+  EXPECT_EQ(stats::counter_value("fabric.frames_reordered"),
+            r.frames_reordered);
+}
+
+TEST(Lab, CorruptedFramesNeverBecomeForgeries) {
+  // 5% of frames are bit-flipped in flight; MACs must keep every one of
+  // them away from execution (checker: no_forgery).
+  stats::reset_counters();
+  auto s = find_scenario("f1-corrupt-frames");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_GT(r.frames_corrupted, 0u);
+  EXPECT_TRUE(r.verdict.no_forgery);
+  EXPECT_TRUE(r.verdict.safe);
+}
+
+}  // namespace
+}  // namespace rubin::faultlab

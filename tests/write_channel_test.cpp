@@ -6,6 +6,7 @@
 
 #include <cstring>
 
+#include "common/audit.hpp"
 #include "net/fabric.hpp"
 #include "reptor/messages.hpp"
 #include "rubin/write_channel.hpp"
@@ -214,6 +215,155 @@ TEST_F(OneSidedTest, WrongRkeyIsRejectedByTheNic) {
   }(*b, rx, got));
   sim.run();
   EXPECT_EQ(got, 0u);
+}
+
+TEST_F(OneSidedTest, ForgedCreditIsCountedAndNeverUnblocksWrites) {
+  // The credit cell is the *other* remotely writable word (§III-C): a
+  // peer holding its rkey can claim consumption that never happened. A
+  // forged credit ahead of what we sent must be flagged and must not let
+  // the sender overwrite unconsumed slots.
+  OneSidedConfig cfg;
+  cfg.slot_count = 4;
+  cfg.credit_interval = 2;
+  auto [a, b] = OneSidedChannel::create_pair(ctx_a, ctx_b, cfg);
+  audit::reset_counters();
+
+  // Exhaust a's credits with the receiver asleep.
+  sim.spawn([](OneSidedChannel& a) -> Task<> {
+    for (int i = 0; i < 4; ++i) {
+      (void)co_await a.write(patterned_bytes(64, static_cast<std::uint64_t>(i)));
+    }
+  }(*a));
+  sim.run();
+  ASSERT_EQ(a->stats().messages_sent, 4u);
+
+  // The attacker wires a QP to a's device and writes "you sent 1000 and I
+  // consumed them all" into a's credit cell.
+  verbs::ProtectionDomain pd_evil;
+  auto* scq = dev_evil.create_cq(16);
+  auto* rcq = dev_evil.create_cq(16);
+  auto evil_qp = dev_evil.create_qp(pd_evil, *scq, *rcq);
+  auto* aq = dev_a.create_cq(16);
+  auto* aq2 = dev_a.create_cq(16);
+  auto victim_side = dev_a.create_qp(ctx_a.pd(), *aq, *aq2);
+  evil_qp->connect(dev_a, victim_side->qp_num());
+  victim_side->connect(dev_evil, evil_qp->qp_num());
+
+  Bytes forged(8);
+  const std::uint64_t lie = 1000;
+  std::memcpy(forged.data(), &lie, 8);
+  auto* evil_mr = pd_evil.register_memory(forged, 0);
+  sim.spawn([](std::shared_ptr<verbs::QueuePair> qp, verbs::MemoryRegion* mr,
+               OneSidedChannel& victim) -> Task<> {
+    verbs::SendWr wr;
+    wr.opcode = verbs::Opcode::kRdmaWrite;
+    wr.sge = verbs::Sge{mr->addr(), 8, mr->lkey()};
+    wr.remote_addr = victim.credit_addr();
+    wr.rkey = victim.credit_rkey();
+    (void)co_await qp->post_send_one(wr);
+  }(evil_qp, evil_mr, *a));
+  sim.run();
+
+  // The forged credit is rejected: the write is still refused (the gate
+  // treats an implausible counter conservatively) and the audit counter
+  // records the forgery attempt.
+  std::size_t n = 99;
+  sim.spawn([](OneSidedChannel& a, std::size_t& n) -> Task<> {
+    n = co_await a.write(patterned_bytes(64, 77));
+  }(*a, n));
+  sim.run();
+  EXPECT_EQ(n, 0u);
+  EXPECT_GE(a->stats().no_credit_stalls, 1u);
+  if (audit::enabled()) {
+    EXPECT_GE(audit::counter_value("onesided.implausible_credit"), 1u);
+  }
+
+  // Legitimate consumption still recovers the channel: b drains the ring
+  // (returning real credits) and a's next write goes through.
+  sim.spawn([](OneSidedChannel& b) -> Task<> {
+    Bytes rx(1024);
+    for (int i = 0; i < 4; ++i) (void)co_await b.read_await(rx);
+  }(*b));
+  sim.run();
+  sim.spawn([](OneSidedChannel& a, std::size_t& n) -> Task<> {
+    n = co_await a.write(patterned_bytes(64, 78));
+  }(*a, n));
+  sim.run();
+  EXPECT_EQ(n, 64u);
+}
+
+TEST_F(OneSidedTest, ReplayedSlotIsNotDeliveredTwice) {
+  // Duplicate delivery: an attacker (or a retransmitting NIC) re-writes a
+  // slot the receiver already consumed. The per-slot sequence header is
+  // the dedup discipline — a stale sequence number never surfaces again.
+  auto [a, b] = OneSidedChannel::create_pair(ctx_a, ctx_b);
+
+  const Bytes msg = patterned_bytes(64, 5);
+  std::size_t got = 0;
+  Bytes rx(1024);
+  sim.spawn([](OneSidedChannel& a, const Bytes& msg) -> Task<> {
+    std::size_t n = 0;
+    while (n == 0) n = co_await a.write(msg);
+  }(*a, msg));
+  sim.spawn([](OneSidedChannel& b, Bytes& rx, std::size_t& got) -> Task<> {
+    got = co_await b.read_await(rx);
+  }(*b, rx, got));
+  sim.run();
+  ASSERT_EQ(got, 64u);
+  ASSERT_EQ(b->stats().messages_received, 1u);
+
+  // Replay: write the identical frame (seq = 1) back into slot 0 of b's
+  // ring, exactly as the original RDMA WRITE placed it.
+  verbs::ProtectionDomain pd_evil;
+  auto* scq = dev_evil.create_cq(16);
+  auto* rcq = dev_evil.create_cq(16);
+  auto evil_qp = dev_evil.create_qp(pd_evil, *scq, *rcq);
+  auto* bq = dev_b.create_cq(16);
+  auto* bq2 = dev_b.create_cq(16);
+  auto victim_side = dev_b.create_qp(ctx_b.pd(), *bq, *bq2);
+  evil_qp->connect(dev_b, victim_side->qp_num());
+  victim_side->connect(dev_evil, evil_qp->qp_num());
+
+  Bytes replay(16 + 64);
+  const std::uint32_t len = 64;
+  std::memcpy(replay.data(), &len, 4);
+  const std::uint64_t seq = 1;  // already consumed
+  std::memcpy(replay.data() + 8, &seq, 8);
+  std::memcpy(replay.data() + 16, msg.data(), 64);
+  auto* evil_mr = pd_evil.register_memory(replay, 0);
+  sim.spawn([](std::shared_ptr<verbs::QueuePair> qp, verbs::MemoryRegion* mr,
+               OneSidedChannel& victim) -> Task<> {
+    verbs::SendWr wr;
+    wr.opcode = verbs::Opcode::kRdmaWrite;
+    wr.sge = verbs::Sge{mr->addr(), 16 + 64, mr->lkey()};
+    wr.remote_addr = victim.ring_addr();  // slot 0 again
+    wr.rkey = victim.ring_rkey();
+    (void)co_await qp->post_send_one(wr);
+  }(evil_qp, evil_mr, *b));
+  sim.run();
+
+  // The receiver polls and sees nothing: seq 1 < expected 2.
+  std::size_t dup = 99;
+  sim.spawn([](OneSidedChannel& b, Bytes& rx, std::size_t& dup) -> Task<> {
+    dup = co_await b.read(rx);
+  }(*b, rx, dup));
+  sim.run();
+  EXPECT_EQ(dup, 0u);
+  EXPECT_EQ(b->stats().messages_received, 1u);
+
+  // …and the channel is not wedged: the next legitimate message (seq 2)
+  // lands in slot 1 and is delivered normally.
+  sim.spawn([](OneSidedChannel& a) -> Task<> {
+    std::size_t n = 0;
+    while (n == 0) n = co_await a.write(patterned_bytes(32, 6));
+  }(*a));
+  sim.spawn([](OneSidedChannel& b, Bytes& rx, std::size_t& got) -> Task<> {
+    got = co_await b.read_await(rx);
+  }(*b, rx, got));
+  sim.run();
+  EXPECT_EQ(got, 32u);
+  EXPECT_TRUE(check_pattern(ByteView(rx).first(32), 6));
+  EXPECT_EQ(b->stats().messages_received, 2u);
 }
 
 TEST_F(OneSidedTest, ExposedFootprintGrowsPerPeer) {
