@@ -32,7 +32,7 @@ std::uint8_t* SharedBytes::mutable_data() noexcept {
   // moment the buffer is legitimately writable (sole owner, whole span).
   RUBIN_AUDIT_ASSERT("shared_bytes",
                      ctrl_ == nullptr ||
-                         (ctrl_->refs == 1 && size_ == ctrl_->capacity),
+                         (ref_load(*ctrl_) == 1 && size_ == ctrl_->capacity),
                      "mutable_data on a shared or sliced buffer");
   return const_cast<std::uint8_t*>(data_);
 }
@@ -42,7 +42,7 @@ SharedBytes SharedBytes::slice(std::size_t offset, std::size_t len) const {
     throw std::out_of_range("SharedBytes::slice: out of range");
   }
   if (len == 0) return {};
-  if (ctrl_ != nullptr) ++ctrl_->refs;
+  if (ctrl_ != nullptr) ref_inc(*ctrl_);
   // Each slice is a payload reference that did *not* copy — the audit
   // counterpart of datapath.copy_bytes.
   RUBIN_AUDIT_COUNT("datapath.slices", 1);
@@ -51,7 +51,7 @@ SharedBytes SharedBytes::slice(std::size_t offset, std::size_t len) const {
 
 void SharedBytes::release() noexcept {
   if (ctrl_ == nullptr) return;
-  if (--ctrl_->refs == 0) {
+  if (ref_dec(*ctrl_)) {
     ctrl_->~Ctrl();
     ::operator delete(static_cast<void*>(ctrl_));
   }

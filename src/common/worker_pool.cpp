@@ -1,0 +1,145 @@
+#include "common/worker_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rubin {
+
+#if defined(RUBIN_PARALLEL_LANES)
+
+WorkerPool::WorkerPool(std::uint32_t threads) : thread_count_(threads) {
+  workers_.reserve(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::scoped_lock lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Workers are gone; whatever closures they parked die here. Outstanding
+  // Pending tickets must not outlive the pool (harnesses declare the pool
+  // before the simulator so coroutine frames are torn down first).
+  completed_.clear();
+}
+
+WorkerPool::Pending WorkerPool::submit(Job job) {
+  if (thread_count_ == 0) {
+    {
+      const std::scoped_lock lk(mu_);
+      ++stats_.submitted;
+      ++stats_.inline_runs;
+    }
+    job();
+    return {};
+  }
+  std::uint64_t id = 0;
+  {
+    const std::scoped_lock lk(mu_);
+    id = next_id_++;
+    queue_.push_back(Queued{id, std::move(job)});
+    ++stats_.submitted;
+  }
+  cv_work_.notify_one();
+  return {this, id};
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    Queued item;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [this] { return stop_ || queue_head_ < queue_.size(); });
+      if (queue_head_ >= queue_.size()) return;  // stop_ with a dry queue
+      item = std::move(queue_[queue_head_++]);
+      if (queue_head_ == queue_.size()) {
+        queue_.clear();
+        queue_head_ = 0;
+      }
+    }
+    item.job();
+    {
+      const std::scoped_lock lk(mu_);
+      // Park the closure for owner-thread destruction (it may hold the
+      // last SharedBytes reference; dying at a drain point keeps teardown
+      // off the workers) and publish the id for wait_for.
+      completed_.push_back(std::move(item));
+      done_.push_back(completed_.back().id);
+      ++stats_.completed;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void WorkerPool::wait_for(std::uint64_t id) {
+  std::vector<Queued> retired;
+  {
+    std::unique_lock lk(mu_);
+    ++stats_.waits;
+    auto finished = [this, id] {
+      return std::find(done_.begin(), done_.end(), id) != done_.end();
+    };
+    if (!finished()) {
+      ++stats_.blocked_waits;
+      cv_done_.wait(lk, finished);
+    }
+    done_.erase(std::find(done_.begin(), done_.end(), id));
+    retired.swap(completed_);
+  }
+  // Closure destruction happens here, on the joining thread, outside the
+  // lock.
+  retired.clear();
+}
+
+void WorkerPool::drain_completions() {
+  std::vector<Queued> retired;
+  {
+    const std::scoped_lock lk(mu_);
+    if (completed_.empty()) return;
+    retired.swap(completed_);
+  }
+  retired.clear();
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  const std::scoped_lock lk(mu_);
+  return stats_;
+}
+
+#else  // !RUBIN_PARALLEL_LANES — inline execution, no threads ever.
+
+WorkerPool::WorkerPool(std::uint32_t threads) {
+  // The serial build's SharedBytes refcount is not thread-safe, so the
+  // requested parallelism is deliberately ignored: every job runs inline
+  // on the submitting thread and virtual-time behaviour is untouched.
+  (void)threads;
+}
+
+WorkerPool::~WorkerPool() = default;
+
+WorkerPool::Pending WorkerPool::submit(Job job) {
+  ++stats_.submitted;
+  ++stats_.inline_runs;
+  job();
+  return {};
+}
+
+void WorkerPool::wait_for(std::uint64_t id) { (void)id; }
+
+void WorkerPool::drain_completions() {}
+
+WorkerPool::Stats WorkerPool::stats() const { return stats_; }
+
+#endif
+
+void WorkerPool::Pending::wait() {
+  if (pool_ == nullptr) return;
+  pool_->wait_for(id_);
+  pool_ = nullptr;
+}
+
+}  // namespace rubin

@@ -1,0 +1,145 @@
+// Wall-clock worker pool for COP lane compute (DESIGN.md §9).
+//
+// The simulator models parallel lanes as virtual-time pipelines; this
+// pool is the *host-side* counterpart that lets the dominant lane charge
+// (HMAC verify + frame decode) actually run on other cores. The
+// division of labour is strict:
+//
+//   - Virtual time, event ordering, and every modeled charge stay with
+//     the single-threaded simulator. The pool never touches them.
+//   - Jobs are pure compute: immutable inputs (SharedBytes handles,
+//     value captures) in, results written to caller-owned storage that
+//     nothing reads until the job is joined. No simulator calls, no
+//     audit asserts, no I/O from a job.
+//   - The submitting thread joins a job's result with Pending::wait()
+//     at the virtual instant the model already charges for the work, so
+//     offloading can never reorder anything observable in virtual time.
+//
+// Completed job closures land on a completion queue drained on the
+// submitting thread — either inside wait() or from the simulator's
+// safe-point hook (Simulator::set_safe_point_hook) — so closure
+// teardown happens at well-defined points, not concurrently with lane
+// code.
+//
+// Degradation is part of the contract: with zero threads, or in a build
+// without RUBIN_PARALLEL_LANES (non-atomic SharedBytes refcount, see
+// shared_bytes.hpp), submit() runs the job inline and wait() is a
+// no-op. Callers write one code path; the serial build stays exactly as
+// safe as it always was.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#if defined(RUBIN_PARALLEL_LANES)
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+#endif
+
+namespace rubin {
+
+class WorkerPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// Spawns `threads` workers. Clamped to zero (inline execution) when
+  /// the build's SharedBytes refcount is not thread-safe.
+  explicit WorkerPool(std::uint32_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Handle for one submitted job. Destroying a live ticket blocks until
+  /// the job finished — a coroutine frame owning a ticket can therefore
+  /// be destroyed at any suspension point (Simulator::terminate_processes)
+  /// without leaving a worker writing into freed result storage.
+  class [[nodiscard]] Pending {
+   public:
+    Pending() noexcept = default;
+    Pending(Pending&& other) noexcept : pool_(other.pool_), id_(other.id_) {
+      other.pool_ = nullptr;
+    }
+    Pending& operator=(Pending&& other) noexcept {
+      if (this != &other) {
+        wait();
+        pool_ = other.pool_;
+        id_ = other.id_;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Pending(const Pending&) = delete;
+    Pending& operator=(const Pending&) = delete;
+    ~Pending() { wait(); }
+
+    /// Blocks (wall-clock only) until the job ran; drains any completed
+    /// closures on the calling thread. Idempotent; no-op for inline or
+    /// moved-from tickets. Never observable in virtual time.
+    void wait();
+
+    /// True while a live pool job has not been joined yet.
+    bool pending() const noexcept { return pool_ != nullptr; }
+
+   private:
+    friend class WorkerPool;
+    Pending(WorkerPool* pool, std::uint64_t id) noexcept
+        : pool_(pool), id_(id) {}
+
+    WorkerPool* pool_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Enqueues `job` for a worker (or runs it inline when the pool has no
+  /// threads). The returned ticket must be waited on — its destructor
+  /// does so — before any output the job writes is read.
+  Pending submit(Job job);
+
+  /// Destroys completed job closures on the calling thread. The
+  /// simulator calls this at safe points (between events, when virtual
+  /// time is about to advance); wait() also drains opportunistically.
+  void drain_completions();
+
+  /// Actual worker threads running (0 = inline mode).
+  std::uint32_t thread_count() const noexcept { return thread_count_; }
+
+  struct Stats {
+    std::uint64_t submitted = 0;    // jobs handed to submit()
+    std::uint64_t inline_runs = 0;  // of which ran inline (no threads)
+    std::uint64_t completed = 0;    // worker-executed jobs finished
+    std::uint64_t waits = 0;        // Pending::wait joins on live tickets
+    std::uint64_t blocked_waits = 0;  // waits that actually had to block
+  };
+  /// Snapshot of lifetime counters (approximate across threads).
+  Stats stats() const;
+
+ private:
+  void wait_for(std::uint64_t id);
+
+  std::uint32_t thread_count_ = 0;
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+
+#if defined(RUBIN_PARALLEL_LANES)
+  struct Queued {
+    std::uint64_t id = 0;
+    Job job;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  // workers: queue_ non-empty or stop_
+  std::condition_variable cv_done_;  // submitters: a job id completed
+  std::vector<Queued> queue_;        // FIFO (drained front-first)
+  std::size_t queue_head_ = 0;
+  std::vector<Queued> completed_;    // closures awaiting owner-thread death
+  std::vector<std::uint64_t> done_;  // ids finished, not yet joined
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+#endif
+};
+
+}  // namespace rubin

@@ -1,5 +1,9 @@
 #include "faultlab/corpus.hpp"
 
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
 #include "faultlab/lab.hpp"
 
 namespace rubin::faultlab {
@@ -36,6 +40,110 @@ FaultEvent at(sim::Time t, std::string label,
 
 void crash(Lab& lab, reptor::NodeId r) {
   lab.replica(r).inject_crash();
+}
+
+/// Seeded fault-combination fuzz: draws `count` actions from the pool of
+/// fabric/NIC faults using a generation RNG, scatters them across the
+/// first 25ms, then heals everything. The draw happens at
+/// corpus-construction time, so the same binary always yields the same
+/// schedule — fuzz coverage without giving up the replay-determinism
+/// contract. Runs with COP lanes on the worker pool to prove fault
+/// injection and host threads compose.
+Scenario fuzz_combo(std::string name, std::uint32_t n,
+                    std::uint64_t gen_seed, std::uint32_t count) {
+  Scenario s = base(std::move(name),
+                    "seeded combination fuzz: " + std::to_string(count) +
+                        " fabric/NIC faults drawn from the action pool, "
+                        "then a full heal",
+                    n);
+  s.replica_cfg.pipelines = 2;
+  s.lane_pool_threads = 2;
+  Rng gen(gen_seed);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const sim::Time when =
+        sim::milliseconds(1) + sim::microseconds(gen.next_in(0, 24000));
+    const std::string tag = "fuzz[" + std::to_string(i) + "] ";
+    switch (gen.next_below(8)) {
+      case 0: {
+        const double rate = 0.01 * static_cast<double>(gen.next_in(2, 8));
+        s.events.push_back(at(when, tag + "global drop rate",
+                              [rate](Lab& l) {
+                                l.fabric().set_drop_rate(rate);
+                              }));
+        break;
+      }
+      case 1: {
+        const double rate = 0.01 * static_cast<double>(gen.next_in(1, 4));
+        s.events.push_back(at(when, tag + "corrupt rate", [rate](Lab& l) {
+          l.fabric().set_corrupt_rate(rate);
+        }));
+        break;
+      }
+      case 2: {
+        const double rate = 0.01 * static_cast<double>(gen.next_in(5, 25));
+        s.events.push_back(at(when, tag + "duplicate rate", [rate](Lab& l) {
+          l.fabric().set_duplicate_rate(rate);
+        }));
+        break;
+      }
+      case 3: {
+        const double rate = 0.01 * static_cast<double>(gen.next_in(5, 30));
+        const sim::Time hold = sim::microseconds(gen.next_in(10, 30));
+        s.events.push_back(at(when, tag + "reorder burst",
+                              [rate, hold](Lab& l) {
+                                l.fabric().set_reorder_delay(hold);
+                                l.fabric().set_reorder_rate(rate);
+                              }));
+        break;
+      }
+      case 4: {
+        const auto a = static_cast<std::uint32_t>(gen.next_below(n));
+        auto b = static_cast<std::uint32_t>(gen.next_below(n - 1));
+        if (b >= a) ++b;
+        const double rate = 0.1 * static_cast<double>(gen.next_in(2, 5));
+        s.events.push_back(at(when, tag + "pair drop",
+                              [a, b, rate](Lab& l) {
+                                l.fabric().set_pair_drop_rate(a, b, rate);
+                              }));
+        break;
+      }
+      case 5: {
+        const auto a = static_cast<std::uint32_t>(gen.next_below(n));
+        auto b = static_cast<std::uint32_t>(gen.next_below(n - 1));
+        if (b >= a) ++b;
+        const sim::Time extra = sim::microseconds(gen.next_in(20, 200));
+        s.events.push_back(at(when, tag + "extra delay",
+                              [a, b, extra](Lab& l) {
+                                l.fabric().set_extra_delay(a, b, extra);
+                              }));
+        break;
+      }
+      case 6: {
+        const auto src = static_cast<std::uint32_t>(gen.next_below(n));
+        auto dst = static_cast<std::uint32_t>(gen.next_below(n - 1));
+        if (dst >= src) ++dst;
+        s.events.push_back(at(when, tag + "one-way block",
+                              [src, dst](Lab& l) {
+                                l.fabric().set_oneway_blocked(src, dst,
+                                                              true);
+                              }));
+        break;
+      }
+      default: {
+        const auto r = static_cast<reptor::NodeId>(gen.next_in(1, n - 1));
+        const sim::Time stall = sim::milliseconds(gen.next_in(2, 6));
+        s.events.push_back(at(when, tag + "NIC stall", [r, stall](Lab& l) {
+          if (l.harness().has_devices()) {
+            l.device(r).inject_nic_stall(stall);
+          }
+        }));
+        break;
+      }
+    }
+  }
+  s.events.push_back(at(sim::milliseconds(30), "heal everything",
+                        [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+  return s;
 }
 
 }  // namespace
@@ -211,6 +319,51 @@ std::vector<Scenario> corpus() {
     all.push_back(std::move(s));
   }
 
+  {
+    Scenario s = base("f1-asym-deaf-group",
+                      "asymmetric partition: every frame FROM the primary "
+                      "is blocked while the primary still hears everyone "
+                      "(it keeps proposing into the void); the backups "
+                      "view-change, the heal lets it catch up", 4);
+    s.replica_cfg.pipelines = 2;
+    s.lane_pool_threads = 2;
+    s.events.push_back(at(sim::milliseconds(4), "block primary's sends",
+                          [](Lab& l) {
+                            // Hosts 1..3 are replicas, 4 is the client:
+                            // the primary's replies vanish too.
+                            for (std::uint32_t h = 1; h <= 4; ++h) {
+                              l.fabric().set_oneway_blocked(0, h, true);
+                            }
+                          }));
+    s.events.push_back(at(sim::milliseconds(24), "heal one-way blocks",
+                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-asym-mute-votes",
+                      "asymmetric partition, backup edition: replica 3 "
+                      "hears everything but its frames reach no one — it "
+                      "tracks the log silently while the group of 3 "
+                      "commits without its votes", 4);
+    s.replica_cfg.pipelines = 2;
+    s.lane_pool_threads = 2;
+    s.events.push_back(at(sim::milliseconds(3), "block replica 3's sends",
+                          [](Lab& l) {
+                            for (std::uint32_t h = 0; h <= 4; ++h) {
+                              if (h != 3) {
+                                l.fabric().set_oneway_blocked(3, h, true);
+                              }
+                            }
+                          },
+                          /*clears=*/true));
+    s.events.push_back(at(sim::milliseconds(20), "heal one-way blocks",
+                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  all.push_back(fuzz_combo("f1-fuzz-combo", 4, 0xF022C0DEULL, 6));
+
   // ---------------------------------------------------- f = 2 (n = 7) --
   {
     Scenario s = base("f2-crash-two",
@@ -268,6 +421,8 @@ std::vector<Scenario> corpus() {
                           }));
     all.push_back(std::move(s));
   }
+
+  all.push_back(fuzz_combo("f2-fuzz-combo", 7, 0xF022C0DE7ULL, 8));
 
   return all;
 }

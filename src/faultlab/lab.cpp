@@ -11,6 +11,9 @@ Lab::Lab(Scenario scenario, reptor::Backend backend)
     : scenario_(std::move(scenario)), backend_(backend) {
   harness_ = std::make_unique<reptor::BftHarness>(
       backend_, scenario_.n, scenario_.clients);
+  if (scenario_.lane_pool_threads > 0) {
+    harness_->enable_lane_pool(scenario_.lane_pool_threads);
+  }
 
   std::vector<bool> correct(scenario_.n, true);
   for (const auto& [id, mk] : scenario_.strategies) correct.at(id) = false;
@@ -37,6 +40,7 @@ void Lab::heal_fabric() {
   fab.set_corrupt_rate(0.0);
   fab.set_duplicate_rate(0.0);
   fab.set_reorder_rate(0.0);
+  fab.clear_oneway_blocks();
   const std::uint32_t hosts = scenario_.n + scenario_.clients;
   for (net::HostId a = 0; a < hosts; ++a) {
     for (net::HostId b = a + 1; b < hosts; ++b) {

@@ -79,6 +79,15 @@ struct Scenario {
   /// checked, liveness is not expected.
   bool expect_liveness = true;
 
+  /// COP worker-pool threads for the run (0 = serial lanes). The Lab
+  /// attaches a WorkerPool of this size to its harness, so lane
+  /// verify/decode work runs on host threads *while the faults fire* —
+  /// proving faults and threads compose. Virtual-time behaviour (and the
+  /// replay-determinism contract above) is unchanged by construction; in
+  /// builds without RUBIN_PARALLEL_LANES the pool degrades to inline
+  /// execution.
+  std::uint32_t lane_pool_threads = 0;
+
   /// Base replica configuration (n/f/self are overwritten per replica).
   reptor::ReplicaConfig replica_cfg;
   /// Base client configuration (n/f/self are overwritten per client).

@@ -32,7 +32,10 @@ std::optional<Fabric::TxPlan> Fabric::plan_transmit(HostId src, HostId dst,
       loss = 1.0 - (1.0 - loss) * (1.0 - it->second);
     }
   }
-  if (is_partitioned(src, dst) || (loss > 0.0 && drop_rng_.chance(loss))) {
+  // Partition/one-way checks are pure map lookups — they consume no RNG,
+  // so arming them never perturbs the drop sequences pinned tests replay.
+  if (is_partitioned(src, dst) || is_oneway_blocked(src, dst) ||
+      (loss > 0.0 && drop_rng_.chance(loss))) {
     ++frames_dropped_;
     stats::counter_add("fabric.frames_dropped");
     return std::nullopt;
@@ -100,6 +103,16 @@ bool Fabric::is_partitioned(HostId a, HostId b) const {
   if (partitioned_.empty()) return false;
   const auto it = partitioned_.find(ordered(a, b));
   return it != partitioned_.end() && it->second;
+}
+
+void Fabric::set_oneway_blocked(HostId src, HostId dst, bool blocked) {
+  oneway_blocked_[{src, dst}] = blocked;
+}
+
+bool Fabric::is_oneway_blocked(HostId src, HostId dst) const {
+  if (oneway_blocked_.empty()) return false;
+  const auto it = oneway_blocked_.find({src, dst});
+  return it != oneway_blocked_.end() && it->second;
 }
 
 void Fabric::set_extra_delay(HostId a, HostId b, sim::Time delay) {

@@ -115,6 +115,14 @@ class Fabric {
   /// Blocks (or unblocks) all frames between a and b, both directions.
   void set_partitioned(HostId a, HostId b, bool blocked);
   bool is_partitioned(HostId a, HostId b) const;
+  /// Asymmetric half of set_partitioned: blocks frames from `src` to
+  /// `dst` only — src goes deaf *to* dst while still hearing everything
+  /// dst sends (FaultLab's "A hears B, B not A" scenarios). Composes
+  /// with partitions and drop rates; blocked frames count as dropped.
+  void set_oneway_blocked(HostId src, HostId dst, bool blocked);
+  bool is_oneway_blocked(HostId src, HostId dst) const;
+  /// Removes every one-way block (scenario heal).
+  void clear_oneway_blocks() { oneway_blocked_.clear(); }
   /// Extra one-way delay applied to frames between a and b.
   void set_extra_delay(HostId a, HostId b, sim::Time delay);
   /// Per-frame probability of a single-byte payload corruption (0
@@ -162,6 +170,9 @@ class Fabric {
   std::vector<sim::Time> egress_free_;  // per-host egress port busy-until
   std::map<std::pair<HostId, HostId>, sim::Time> extra_delay_;
   std::map<std::pair<HostId, HostId>, bool> partitioned_;
+  /// Directed (src, dst) pairs — deliberately NOT ordered(): the whole
+  /// point is that (a, b) can block while (b, a) flows.
+  std::map<std::pair<HostId, HostId>, bool> oneway_blocked_;
   std::map<std::pair<HostId, HostId>, double> pair_drop_;
   double drop_rate_ = 0.0;
   double corrupt_rate_ = 0.0;

@@ -6,6 +6,7 @@
 #include "common/audit.hpp"
 #include "common/codec.hpp"
 #include "common/log.hpp"
+#include "common/worker_pool.hpp"
 #include "reptor/byzantine.hpp"
 
 namespace rubin::reptor {
@@ -158,17 +159,23 @@ void Replica::route(InboundMsg msg) {
     ++stats_.auth_failures;
     return;
   }
-  std::uint32_t lane = 0;
-  if (const auto* pp = std::get_if<PrePrepare>(&env->msg)) {
-    lane = static_cast<std::uint32_t>(pp->seq % cfg_.pipelines);
-  } else if (const auto* p = std::get_if<Prepare>(&env->msg)) {
-    lane = static_cast<std::uint32_t>(p->seq % cfg_.pipelines);
-  } else if (const auto* c = std::get_if<Commit>(&env->msg)) {
-    lane = static_cast<std::uint32_t>(c->seq % cfg_.pipelines);
-  } else if (std::holds_alternative<Request>(env->msg)) {
-    lane = env->sender % cfg_.pipelines;  // spread client auth work
+  lane_in_[lane_for(*env)]->push(std::move(msg.frame));
+}
+
+std::uint32_t Replica::lane_for(const Envelope& env) const noexcept {
+  if (const auto* pp = std::get_if<PrePrepare>(&env.msg)) {
+    return static_cast<std::uint32_t>(pp->seq % cfg_.pipelines);
   }
-  lane_in_[lane]->push(std::move(msg.frame));
+  if (const auto* p = std::get_if<Prepare>(&env.msg)) {
+    return static_cast<std::uint32_t>(p->seq % cfg_.pipelines);
+  }
+  if (const auto* c = std::get_if<Commit>(&env.msg)) {
+    return static_cast<std::uint32_t>(c->seq % cfg_.pipelines);
+  }
+  if (std::holds_alternative<Request>(env.msg)) {
+    return env.sender % cfg_.pipelines;  // spread client auth work
+  }
+  return 0;  // control-plane traffic (view change, checkpoints, state)
 }
 
 sim::Task<void> Replica::lane_loop(std::uint32_t lane) {
@@ -176,7 +183,7 @@ sim::Task<void> Replica::lane_loop(std::uint32_t lane) {
     SharedBytes frame = co_await lane_in_[lane]->recv();
     if (frame.empty()) break;  // shutdown sentinel
     lane_busy_[lane] = true;
-    co_await handle_frame(std::move(frame));
+    co_await handle_frame(std::move(frame), lane);
     lane_busy_[lane] = false;
     if (lane_in_[lane]->empty()) lanes_idle_evt_.set();
   }
@@ -197,14 +204,36 @@ sim::Task<void> Replica::lanes_idle() {
   }
 }
 
-sim::Task<void> Replica::handle_frame(SharedBytes frame) {
-  // Authenticator verification burns a core for the MAC over the frame.
-  co_await sim_->sleep(cfg_.costs.mac_time(frame.size()));
-  auto env = decode_verified(frame.view(), keys_);
+sim::Task<void> Replica::handle_frame(SharedBytes frame, std::uint32_t lane) {
+  // Authenticator verification burns a (virtual) core for the MAC over
+  // the frame. With a worker pool attached, the same verify + decode also
+  // runs on a *host* core during that charge: the job is a pure function
+  // of the immutable frame and the read-only key table (HmacKey::mac
+  // copies its cached midstates, so concurrent readers never share
+  // mutable hash state), and its result is joined exactly when the
+  // modeled charge ends — virtual time cannot observe the offload.
+  std::optional<Envelope> env;
+  if (cfg_.worker_pool != nullptr) {
+    RUBIN_AUDIT_COUNT("cop.pool.decode_jobs", 1);
+    WorkerPool::Pending job = cfg_.worker_pool->submit(
+        [frame, keys = &keys_, out = &env] {
+          *out = decode_verified(frame.view(), *keys);
+        });
+    co_await sim_->sleep(cfg_.costs.mac_time(frame.size()));
+    job.wait();
+  } else {
+    co_await sim_->sleep(cfg_.costs.mac_time(frame.size()));
+    env = decode_verified(frame.view(), keys_);
+  }
   if (!env) {
     ++stats_.auth_failures;
     co_return;
   }
+  // Cross-lane aliasing audit: the post-verification envelope must map to
+  // the lane that handled it, or two lanes could mutate the same LogEntry
+  // at interleaved suspension points.
+  RUBIN_AUDIT_ASSERT("cop", lane_for(*env) == lane,
+                     "frame handled by a lane that does not own it");
   co_await sim_->sleep(cfg_.costs.handle_fixed);
   ++stats_.messages_handled;
 
@@ -338,8 +367,21 @@ sim::Task<void> Replica::handle_pre_prepare(const Envelope& env) {
 
   std::size_t batch_bytes = 0;
   for (const Request& r : pp.batch) batch_bytes += r.op.size();
-  co_await sim_->sleep(cfg_.costs.digest_time(batch_bytes));
-  if (batch_digest(pp.batch) != pp.digest) co_return;  // Byzantine primary
+  // Same offload shape as handle_frame: the batch digest is a pure
+  // function of the (frame-local, immutable while we sleep) batch, so it
+  // can run on a worker during the digest charge and join at its end.
+  Digest computed{};
+  if (cfg_.worker_pool != nullptr) {
+    RUBIN_AUDIT_COUNT("cop.pool.digest_jobs", 1);
+    WorkerPool::Pending job = cfg_.worker_pool->submit(
+        [batch = &pp.batch, out = &computed] { *out = batch_digest(*batch); });
+    co_await sim_->sleep(cfg_.costs.digest_time(batch_bytes));
+    job.wait();
+  } else {
+    co_await sim_->sleep(cfg_.costs.digest_time(batch_bytes));
+    computed = batch_digest(pp.batch);
+  }
+  if (computed != pp.digest) co_return;  // Byzantine primary
 
   entry.view = view_;
   entry.pp = pp;

@@ -41,6 +41,10 @@
 #include "sim/mailbox.hpp"
 #include "sim/simulator.hpp"
 
+namespace rubin {
+class WorkerPool;
+}  // namespace rubin
+
 namespace rubin::reptor {
 
 class ByzantineStrategy;
@@ -77,6 +81,16 @@ struct ReplicaConfig {
   /// replica re-asks a different peer if no usable snapshot arrives).
   sim::Time state_transfer_retry = sim::milliseconds(2);
   std::uint32_t pipelines = 1;  // COP lanes (== cores devoted to agreement)
+  /// Optional wall-clock worker pool: when set, each lane's dominant
+  /// compute (HMAC verify + frame decode, PRE-PREPARE batch digest) is
+  /// submitted as a pure job and joined at the end of the exact virtual
+  /// charge the cost model already bills — wall-clock throughput scales
+  /// with host cores, virtual-time behaviour is bit-identical (the
+  /// parallel-determinism battery in tests/determinism_test.cpp pins
+  /// this). Not owned; must outlive the replica's coroutines. With a
+  /// 0-thread pool (or a build without RUBIN_PARALLEL_LANES) jobs run
+  /// inline on the submitting thread.
+  WorkerPool* worker_pool = nullptr;
   ProtocolCosts costs;
   FaultMode fault = FaultMode::kHonest;
   /// Takes precedence over `fault` when set; FaultLab scenarios install
@@ -167,13 +181,18 @@ class Replica {
   // Dispatcher side.
   sim::Task<void> dispatcher_loop();
   void route(InboundMsg msg);
+  /// COP routing function: which lane owns this message. Sequence-carrying
+  /// messages go to lane seq % pipelines, requests spread by sender; the
+  /// same mapping is re-checked post-decode in handle_frame (the
+  /// cross-lane aliasing audit).
+  std::uint32_t lane_for(const Envelope& env) const noexcept;
   sim::Time next_timeout() const;
   sim::Task<void> handle_timers();
   sim::Task<void> lanes_idle();
 
   // Lane side (each handler charges its own CPU costs).
   sim::Task<void> lane_loop(std::uint32_t lane);
-  sim::Task<void> handle_frame(SharedBytes frame);
+  sim::Task<void> handle_frame(SharedBytes frame, std::uint32_t lane);
   sim::Task<void> handle_request(const Envelope& env, const SharedBytes& frame);
   sim::Task<void> handle_pre_prepare(const Envelope& env);
   void handle_prepare(const Envelope& env);

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/audit.hpp"
+#include "common/worker_pool.hpp"
 #include "faultlab/corpus.hpp"
 #include "faultlab/lab.hpp"
 #include "workloads/bft_harness.hpp"
@@ -53,11 +54,19 @@ struct BftOutcome {
   bool operator==(const BftOutcome&) const = default;
 };
 
-BftOutcome run_small_bft(reptor::Backend backend) {
+/// `pool_threads` < 0 leaves lanes serial (no pool attached); >= 0
+/// attaches a WorkerPool of that many threads, so 0 exercises the
+/// submit/join code path with inline execution.
+BftOutcome run_small_bft(reptor::Backend backend, int pool_threads = -1,
+                         std::uint32_t pipelines = 1) {
   reptor::BftHarness h(backend, 4, 2);
+  if (pool_threads >= 0) {
+    h.enable_lane_pool(static_cast<std::uint32_t>(pool_threads));
+  }
   reptor::ReplicaConfig cfg;
   cfg.batch_size = 4;
   cfg.batch_timeout = sim::microseconds(100);
+  cfg.pipelines = pipelines;
   h.add_replicas({}, cfg);
 
   int done = 0;
@@ -100,13 +109,58 @@ TEST(Determinism, BftEndToEndReplaysBitIdentically) {
   }
 }
 
+TEST(Determinism, WorkerPoolLanesReplayBitIdentically) {
+  // The tentpole contract: offloading lane verify/decode work to host
+  // threads must not move a single virtual-time charge. The serial run
+  // (no pool attached) is the baseline; every pool width — including 0,
+  // which takes the submit/join code path with inline execution — must
+  // reproduce it bit-identically, at a pipeline count that actually
+  // spreads sequence numbers across COP lanes.
+  for (const auto backend : {reptor::Backend::kNio, reptor::Backend::kRubin}) {
+    const BftOutcome serial = run_small_bft(backend, -1, 4);
+    EXPECT_EQ(serial.committed, 20u);
+    for (const int threads : {0, 1, 2, 4}) {
+      const BftOutcome pooled = run_small_bft(backend, threads, 4);
+      EXPECT_TRUE(serial == pooled)
+          << "backend " << static_cast<int>(backend) << " pool width "
+          << threads << ": committed " << pooled.committed << " vs "
+          << serial.committed;
+    }
+  }
+}
+
+TEST(Determinism, EchoWorkloadsUnchangedByPoolDecoyJobs) {
+  // The echo workloads do no lane work, so attaching a pool exercises the
+  // orthogonal half of the contract: safe-point hooks that round-trip
+  // decoy SharedBytes jobs through worker threads (copy/slice/drop across
+  // threads, completions drained between events) must leave the modeled
+  // trace untouched.
+  WorkerPool pool(2);
+  for (const std::size_t payload : {1024ul, 65536ul}) {
+    EchoParams plain = small(payload);
+    EchoParams decoys = plain;
+    decoys.lane_pool = &pool;
+    expect_identical(run_tcp_echo(plain), run_tcp_echo(decoys), "tcp+pool");
+    expect_identical(run_sendrecv_echo(plain), run_sendrecv_echo(decoys),
+                     "sendrecv+pool");
+    expect_identical(run_readwrite_echo(plain), run_readwrite_echo(decoys),
+                     "readwrite+pool");
+    const auto cfg = default_channel_config(payload);
+    expect_identical(run_channel_echo(plain, cfg),
+                     run_channel_echo(decoys, cfg), "channel+pool");
+  }
+}
+
 TEST(Determinism, FaultScenariosReplayBitIdentically) {
   // Fault injection must not break the replay contract: the fabric's
   // fault dice, the Byzantine strategies, and the checker's verdict are
   // all pure functions of (scenario, seed). A divergence here means a
   // fault path consulted wall-clock state or an unseeded RNG.
+  // The asym/fuzz scenarios run with lane_pool_threads = 2, so their rows
+  // also prove a live worker pool replays under fault injection.
   for (const char* name :
-       {"f1-lossy-fabric", "f1-byz-equivocating-primary"}) {
+       {"f1-lossy-fabric", "f1-byz-equivocating-primary",
+        "f1-asym-deaf-group", "f1-fuzz-combo"}) {
     auto s1 = faultlab::find_scenario(name);
     auto s2 = faultlab::find_scenario(name);
     ASSERT_TRUE(s1.has_value() && s2.has_value());
