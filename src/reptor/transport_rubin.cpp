@@ -93,7 +93,10 @@ sim::Task<void> RubinTransport::maintain_connections() {
         conn.backoff = sim::milliseconds(1);
         if (!conn.hello_sent) {
           // The hello must precede any protocol frame on the new channel.
-          const Bytes hello = hello_frame(self_);
+          // A SharedBytes handle rides the WR, so the payload stays pinned
+          // even under zero_copy_send configs (channel.hpp lifetime
+          // contract) — a frame-local Bytes here would dangle.
+          const SharedBytes hello = SharedBytes::copy_of(hello_frame(self_));
           if (co_await conn.channel->write(hello) > 0) conn.hello_sent = true;
         }
       }
@@ -156,8 +159,10 @@ sim::Task<void> RubinTransport::start() {
   }
 
   // Identify ourselves: the hello must be the first frame on the wire.
+  // Sent as SharedBytes so the payload outlives this frame if the config
+  // enables zero_copy_send (channel.hpp lifetime contract).
   for (NodeId peer : targets) {
-    const Bytes hello = hello_frame(self_);
+    const SharedBytes hello = SharedBytes::copy_of(hello_frame(self_));
     std::size_t n = 0;
     while (n == 0) n = co_await conns_[peer].channel->write(hello);
   }

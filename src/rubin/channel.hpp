@@ -76,6 +76,11 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   /// standard RDMA zero-copy contract; Reptor-style transports that
   /// cannot guarantee it disable zero_copy_send and pay the copy, which
   /// is exactly the trade-off measured in Fig. 4.
+  ///
+  /// rubinlint enforces this contract statically (coro-stack-wr,
+  /// DESIGN.md §10): a buffer owned by the sending coroutine's frame is
+  /// flagged — hoist it to the caller, or use the SharedBytes overload
+  /// below, which pins the payload for the WR's lifetime.
   sim::Task<std::size_t> write(ByteView msg);
 
   /// Zero-copy variant: the refcounted handle rides the WR all the way to

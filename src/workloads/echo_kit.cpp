@@ -435,6 +435,11 @@ EchoPoint run_channel_echo_windowed(const EchoParams& p,
       const std::size_t n = co_await ch->read_await(rx);
       if (n == 0) co_return;
       std::size_t w = 0;
+      // Closed-loop echo: the client sends its next request only after
+      // consuming this echo, so the WR always completes before rx is
+      // overwritten or the frame exits; hoisting would add a copy the
+      // Fig. 3/4 latency benches must not pay.
+      // rubinlint:allow(coro-stack-wr) closed-loop: WR done before rx reuse
       while (w == 0) w = co_await ch->write(ByteView(rx).first(n));
     }
   }(server, p.payload, server_up));
@@ -520,6 +525,11 @@ EchoPoint run_channel_echo(const EchoParams& p, nio::ChannelConfig cfg) {
       const std::size_t n = co_await ch->read_await(rx);
       if (n == 0) co_return;
       std::size_t w = 0;
+      // Closed-loop echo: the client sends its next request only after
+      // consuming this echo, so the WR always completes before rx is
+      // overwritten or the frame exits; hoisting would add a copy the
+      // Fig. 3/4 latency benches must not pay.
+      // rubinlint:allow(coro-stack-wr) closed-loop: WR done before rx reuse
       while (w == 0) w = co_await ch->write(ByteView(rx).first(n));
     }
   }(server, p.payload, server_up));

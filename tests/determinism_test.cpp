@@ -185,6 +185,19 @@ TEST(Determinism, FaultScenariosReplayBitIdentically) {
 
 // ------------------------------------------------- datapath accounting ---
 
+TEST(Datapath, LanePoolOffloadsAreCounted) {
+  // With a pool attached, every lane verify/decode and batch digest is
+  // offloaded to a host worker and counted; the counters fire on every
+  // build (WorkerPool degrades to inline execution on serial builds), so
+  // the assertion is preset-independent.
+  if (!audit::enabled()) GTEST_SKIP() << "audit counters compiled out";
+  audit::reset_counters();
+  const BftOutcome out = run_small_bft(reptor::Backend::kRubin, 2, 4);
+  EXPECT_EQ(out.committed, 20u);
+  EXPECT_GT(audit::counter_value("cop.pool.decode_jobs"), 0u);
+  EXPECT_GT(audit::counter_value("cop.pool.digest_jobs"), 0u);
+}
+
 TEST(Datapath, SendPathCopiesA64KiBPayloadAtMostOnce) {
   if (!audit::enabled()) GTEST_SKIP() << "audit counters compiled out";
   constexpr std::size_t kPayload = 64 * 1024;

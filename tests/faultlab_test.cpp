@@ -3,6 +3,7 @@
 // fault counters' common/stats plumbing.
 #include <gtest/gtest.h>
 
+#include "common/audit.hpp"
 #include "common/stats.hpp"
 #include "faultlab/corpus.hpp"
 #include "faultlab/lab.hpp"
@@ -206,6 +207,35 @@ TEST(Lab, FabricFaultCountersFlowThroughStats) {
             r.frames_duplicated);
   EXPECT_EQ(stats::counter_value("fabric.frames_reordered"),
             r.frames_reordered);
+}
+
+TEST(Lab, DuplicateFloodTripsVerbsDedupCounter) {
+  // 25% frame duplication: the ghosts must die in the verbs PSN dedup,
+  // and the audit counter proves that layer (not just PBFT request
+  // dedup) is what absorbed them.
+  if (!audit::enabled()) GTEST_SKIP() << "audit counters compiled out";
+  audit::reset_counters();
+  auto s = find_scenario("f1-duplicate-flood");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_GT(r.frames_duplicated, 0u) << "flood scenario injected no dupes";
+  EXPECT_GT(audit::counter_value("verbs.duplicate_discarded"), 0u);
+}
+
+TEST(Lab, QpErrorFlushTripsCompletionErrorCounter) {
+  // Backup 3's QPs all transition to error at t=6ms: every in-flight WR
+  // flushes with an error completion, which the channel layer must count
+  // before tearing down and redialing.
+  if (!audit::enabled()) GTEST_SKIP() << "audit counters compiled out";
+  audit::reset_counters();
+  auto s = find_scenario("f1-qp-error-backup");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_GT(audit::counter_value("channel.completion_errors"), 0u);
 }
 
 TEST(Lab, CorruptedFramesNeverBecomeForgeries) {

@@ -1,0 +1,49 @@
+// Corpus: the two PR 1 coroutine-lifetime bug shapes plus the detach and
+// ref-capture variants. Nothing here compiles — it exists to be flagged.
+#include "rubin/channel.hpp"
+
+namespace corpus {
+
+// Shape 1: a frame-local buffer posted as a zero-copy WR. The NIC reads
+// the buffer after write() resumes the sender; the frame can die first
+// (use-after-free the PR 1 seed actually shipped).
+sim::Task<> send_hello(nio::RdmaChannel& ch) {
+  const Bytes hello = make_hello_frame();
+  std::size_t n = 0;
+  while (n == 0) n = co_await ch.write(hello);  // lint-expect(coro-stack-wr)
+  co_return;
+}
+
+// Raw verbs variant of shape 1: the local escapes into a posted Sge.
+sim::Task<> post_raw(verbs::QueuePair& qp) {
+  Bytes payload(4096);
+  qp.post_send(verbs::Sge{payload.data(), payload.size()});  // lint-expect(coro-stack-wr)
+  co_await qp.drain();
+}
+
+// Shape 2: a detached root coroutine — nobody owns the frame, so it is
+// never resumed to completion or destroyed (the PR 1 teardown leak).
+void fire_and_forget(sim::Simulator& sim) {
+  [](sim::Simulator& s) -> sim::Task<> {  // lint-expect(coro-detached)
+    co_await s.sleep(sim::microseconds(1));
+  }(sim);
+}
+
+sim::Task<> pump();
+
+void detach_variants(sim::Task<> t) {
+  t.detach();  // lint-expect(coro-detached)
+  pump();      // discarded Task  lint-expect(coro-detached)
+}
+
+// Ref captures in a spawned coroutine dangle: the frame outlives the
+// enclosing scope by construction.
+void spawn_counter(sim::Simulator& sim, nio::RdmaChannel& ch) {
+  int done = 0;
+  sim.spawn([&done](nio::RdmaChannel& c) -> sim::Task<> {  // lint-expect(coro-ref-capture)
+    co_await c.flush();
+    ++done;
+  }(ch));
+}
+
+}  // namespace corpus

@@ -1,0 +1,6 @@
+// Corpus: header without an include guard.  lint-expect(house-include-guard)
+namespace corpus {
+class Widget {};
+}  // namespace corpus
+
+using namespace corpus;  // convenience alias  lint-expect(house-using-namespace)

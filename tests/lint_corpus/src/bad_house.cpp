@@ -1,0 +1,28 @@
+// Corpus: house + determinism rules. Every violation here carries a
+// trailing comment — the grep era piped through `grep -v '//'` and was
+// blind to all of them; the lexer sees through trailing comments.
+#include "../common/bytes.hpp"  // lint-expect(house-relative-include)
+
+namespace corpus {
+
+int* leak() {
+  int* p = new int[4];  // manual buffer for the demo  lint-expect(house-naked-new)
+  return p;
+}
+
+void report(int n) {
+  printf("n=%d\n", n);  // quick debug output  lint-expect(house-console-io)
+}
+
+unsigned seed() {
+  std::random_device rd;  // hardware entropy  lint-expect(det-random)
+  const unsigned lo = static_cast<unsigned>(std::rand());  // lint-expect(det-random)
+  return rd() + lo;
+}
+
+long stamp() {
+  const auto t = std::chrono::steady_clock::now();  // timestamp  lint-expect(det-wall-clock)
+  return t.time_since_epoch().count();
+}
+
+}  // namespace corpus

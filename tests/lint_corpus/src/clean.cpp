@@ -1,0 +1,42 @@
+// Corpus: clean twins — the same shapes written correctly. rubinlint must
+// stay silent on every line of this file.
+#include <memory>
+
+#include "rubin/channel.hpp"
+
+namespace corpus {
+
+std::unique_ptr<int> boxed() {
+  return std::unique_ptr<int>(new int(7));  // smart-pointer ctor line
+}
+
+// Strings and comments are not code: no token below exists for the
+// analyzer. "new Foo" / std::rand() / steady_clock in prose is fine.
+const char* kBanner = "new Foo; std::rand(); steady_clock::now();";
+const char* kRaw = R"(printf("%d", new int);)";
+
+// Hoisted-payload spawn: the sanctioned PR 1 idiom — the buffer lives in
+// the caller and rides into the coroutine frame by const reference.
+void run(sim::Simulator& sim, std::shared_ptr<nio::RdmaChannel> ch) {
+  const Bytes m = make_payload();
+  sim.spawn([](std::shared_ptr<nio::RdmaChannel> c,
+               const Bytes& m) -> sim::Task<> {
+    std::size_t n = 0;
+    while (n == 0) n = co_await c->write(m);
+  }(ch, m));
+}
+
+// SharedBytes pins its payload on the WR: a frame-local handle is fine.
+sim::Task<> send_pinned(nio::RdmaChannel& ch) {
+  const SharedBytes hello = SharedBytes::copy_of(make_payload());
+  (void)co_await ch.write(hello);
+}
+
+// OneSidedChannel::write stages a copy into a registered slot at post
+// time — the caller's buffer carries no lifetime obligation.
+sim::Task<> push(nio::OneSidedChannel& wc) {
+  Bytes frame = make_payload();
+  (void)co_await wc.write(frame);
+}
+
+}  // namespace corpus

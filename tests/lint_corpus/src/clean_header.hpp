@@ -1,0 +1,8 @@
+// Corpus: a compliant header — guarded, nothing leaks into includers.
+#pragma once
+
+#include <cstdint>
+
+namespace corpus {
+inline constexpr std::uint32_t kMagic = 0x52554249;
+}  // namespace corpus

@@ -1,0 +1,17 @@
+// Corpus: unordered-container iteration inside a charge-path directory
+// (src/sim) — the order is address-dependent and breaks replay.
+#include <unordered_map>
+
+namespace corpus {
+
+int drain() {
+  std::unordered_map<int, int> pending;
+  pending[1] = 2;
+  int sum = 0;
+  for (const auto& [seq, v] : pending) {  // lint-expect(det-unordered-iter)
+    sum += v + static_cast<int>(seq);
+  }
+  return sum;
+}
+
+}  // namespace corpus

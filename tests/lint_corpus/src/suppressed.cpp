@@ -1,0 +1,17 @@
+// Corpus: inline suppression. An allow() covers its own line and the line
+// below; none of these sites may diagnose.
+namespace corpus {
+
+struct Pool;
+
+Pool* bootstrap() {
+  // rubinlint:allow(house-naked-new) ownership passes to the arena
+  Pool* p = new Pool;
+  return p;
+}
+
+void trace(int v) {
+  printf("v=%d\n", v);  // rubinlint:allow(house-console-io) boot-time banner
+}
+
+}  // namespace corpus

@@ -1,0 +1,22 @@
+// Corpus: coroutine rules reach tests/ too — a frame-local payload in a
+// spawned coroutine is the exact PR 1 regression shape. House rules do
+// not reach here: the naked new below must stay unflagged.
+#include <gtest/gtest.h>
+
+#include "rubin/context.hpp"
+
+namespace corpus {
+
+TEST(CorpusFrame, LocalPayloadEscapes) {
+  sim::Simulator sim;
+  auto ch = make_channel(sim);
+  int* scratch = new int[8];  // house rules are src/-only: not flagged
+  sim.spawn([](std::shared_ptr<nio::RdmaChannel> c) -> sim::Task<> {
+    const Bytes m = patterned_bytes(4096, 0);
+    std::size_t n = 0;
+    while (n == 0) n = co_await c->write(m);  // lint-expect(coro-stack-wr)
+  }(ch));
+  delete[] scratch;
+}
+
+}  // namespace corpus

@@ -55,11 +55,11 @@ TEST_F(EdgeTest, InterestMutationStopsReporting) {
   nio::RdmaSelector selector(ctx_b);
   auto* key = selector.register_channel(server, nio::kOpReceive);
 
-  sim.spawn([](std::shared_ptr<nio::RdmaChannel> c) -> Task<> {
-    const Bytes m = patterned_bytes(128, 1);
+  const Bytes m = patterned_bytes(128, 1);  // outlives the zero-copy WR
+  sim.spawn([](std::shared_ptr<nio::RdmaChannel> c, const Bytes& m) -> Task<> {
     std::size_t n = 0;
     while (n == 0) n = co_await c->write(m);
-  }(client));
+  }(client, m));
 
   std::size_t first = 0;
   std::size_t second = 99;
@@ -82,11 +82,11 @@ TEST_F(EdgeTest, CancelledKeyIsSweptAndAudited) {
   nio::RdmaSelector selector(ctx_b);
   auto* key = selector.register_channel(server, nio::kOpReceive);
 
-  sim.spawn([](std::shared_ptr<nio::RdmaChannel> c) -> Task<> {
-    const Bytes m = patterned_bytes(128, 7);
+  const Bytes m = patterned_bytes(128, 7);  // outlives the zero-copy WR
+  sim.spawn([](std::shared_ptr<nio::RdmaChannel> c, const Bytes& m) -> Task<> {
     std::size_t n = 0;
     while (n == 0) n = co_await c->write(m);
-  }(client));
+  }(client, m));
 
   key->cancel();
 
@@ -119,14 +119,14 @@ TEST_F(EdgeTest, TwoSelectorsSplitChannels) {
   sel_x.register_channel(s1, nio::kOpReceive, 111);
   sel_y.register_channel(s2, nio::kOpReceive, 222);
 
+  const Bytes m = patterned_bytes(64, 0);  // outlives the zero-copy WRs
   sim.spawn([](std::shared_ptr<nio::RdmaChannel> c1,
-               std::shared_ptr<nio::RdmaChannel> c2) -> Task<> {
-    const Bytes m = patterned_bytes(64, 0);
+               std::shared_ptr<nio::RdmaChannel> c2, const Bytes& m) -> Task<> {
     std::size_t n = 0;
     while (n == 0) n = co_await c1->write(m);
     n = 0;
     while (n == 0) n = co_await c2->write(m);
-  }(c1, c2));
+  }(c1, c2, m));
 
   std::uint64_t x_att = 0;
   std::uint64_t y_att = 0;

@@ -1,0 +1,222 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace rubinlint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses `rubinlint:allow(a, b) ...` occurrences out of one comment's text
+/// and records the named rules against `line` and `line + 1`.
+void harvest_allows(LexedFile& out, const std::string& text, int line) {
+  std::size_t pos = 0;
+  static const std::string kKey = "rubinlint:allow(";
+  while ((pos = text.find(kKey, pos)) != std::string::npos) {
+    pos += kKey.size();
+    const std::size_t end = text.find(')', pos);
+    if (end == std::string::npos) break;
+    std::string id;
+    for (std::size_t i = pos; i <= end; ++i) {
+      const char c = i < end ? text[i] : ',';
+      if (c == ',' ) {
+        // Trim surrounding whitespace.
+        std::size_t a = 0, b = id.size();
+        while (a < b && std::isspace(static_cast<unsigned char>(id[a]))) ++a;
+        while (b > a && std::isspace(static_cast<unsigned char>(id[b - 1]))) --b;
+        if (b > a) {
+          out.allows[line].push_back(id.substr(a, b - a));
+          out.allows[line + 1].push_back(id.substr(a, b - a));
+        }
+        id.clear();
+      } else {
+        id.push_back(c);
+      }
+    }
+    pos = end;
+  }
+}
+
+void add_comment(LexedFile& out, std::string text, int line) {
+  harvest_allows(out, text, line);
+  auto& slot = out.comments[line];
+  if (!slot.empty()) slot.push_back(' ');
+  slot += std::move(text);
+}
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string_view src) {
+  LexedFile out;
+  out.path = std::move(path);
+
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  // True from a directive's '#' until the end of its (continued) line;
+  // switches '<...>' after #include into header-name lexing.
+  bool in_pp = false;
+  bool pp_include = false;
+
+  auto push = [&](Tok kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      if (in_pp && (i < 2 || src[i - 2] != '\\')) {
+        in_pp = false;
+        pp_include = false;
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // ---- comments -------------------------------------------------------
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      add_comment(out, std::string(src.substr(i + 2, j - i - 2)), line);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      int start_line = line;
+      std::string text;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') {
+          add_comment(out, text, start_line + (line - start_line));
+          text.clear();
+          ++line;
+        } else {
+          text.push_back(src[j]);
+        }
+        ++j;
+      }
+      add_comment(out, text, line);
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // ---- preprocessor ---------------------------------------------------
+    if (c == '#' && !in_pp) {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      std::string head = "#";
+      while (j < n && ident_cont(src[j])) head.push_back(src[j++]);
+      in_pp = true;
+      pp_include = (head == "#include" || head == "#include_next");
+      push(Tok::kPp, head);
+      i = j;
+      continue;
+    }
+    if (pp_include && c == '<') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '>' && src[j] != '\n') ++j;
+      push(Tok::kString, std::string(src.substr(i, j < n ? j - i + 1 : n - i)));
+      i = (j < n && src[j] == '>') ? j + 1 : j;
+      continue;
+    }
+
+    // ---- raw strings ----------------------------------------------------
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n') delim.push_back(src[j++]);
+      const std::string close = ")" + delim + "\"";
+      std::size_t body = (j < n) ? j + 1 : n;
+      std::size_t end = src.find(close, body);
+      if (end == std::string_view::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k)
+        if (src[k] == '\n') ++line;
+      push(Tok::kString, "<raw-string>");
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+
+    // ---- identifiers / numbers -----------------------------------------
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_cont(src[j])) ++j;
+      std::string word(src.substr(i, j - i));
+      // String-literal prefixes (u8"...", L"...", etc.).
+      if (j < n && src[j] == '"' &&
+          (word == "u8" || word == "u" || word == "U" || word == "L")) {
+        i = j;
+        continue;  // re-enter loop at the quote
+      }
+      push(Tok::kIdent, std::move(word));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_cont(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P'))))
+        ++j;
+      push(Tok::kNumber, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+
+    // ---- quoted literals ------------------------------------------------
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != q) {
+        if (src[j] == '\\' && j + 1 < n) {
+          text.push_back(src[j]);
+          text.push_back(src[j + 1]);
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; keep line counts sane
+        text.push_back(src[j++]);
+      }
+      push(q == '"' ? Tok::kString : Tok::kChar, std::move(text));
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    // ---- punctuation: longest known operator first ----------------------
+    static const char* kOps3[] = {"<<=", ">>=", "...", "->*", "<=>"};
+    static const char* kOps2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                                  ">=", "==", "!=", "&&", "||", "+=", "-=",
+                                  "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+    std::string op(1, c);
+    if (i + 2 < n) {
+      const std::string three(src.substr(i, 3));
+      for (const char* o : kOps3)
+        if (three == o) op = three;
+    }
+    if (op.size() == 1 && i + 1 < n) {
+      const std::string two(src.substr(i, 2));
+      for (const char* o : kOps2)
+        if (two == o) op = two;
+    }
+    i += op.size();
+    push(Tok::kPunct, std::move(op));
+  }
+
+  out.last_line = line;
+  return out;
+}
+
+}  // namespace rubinlint

@@ -1,0 +1,51 @@
+// rubinlint lexer — a minimal C++ tokenizer that is exact about the three
+// things the grep era got wrong: comments, string literals (including raw
+// strings), and preprocessor directives. Rules operate on the token stream,
+// so `std::rand()` inside a string or a comment is invisible to them, and a
+// violation followed by a trailing `// tuning note` is NOT masked (the old
+// `grep -v '//'` pipelines dropped the whole line).
+//
+// The lexer also extracts two comment-borne side channels:
+//   * `rubinlint:allow(rule-a, rule-b) rationale...` — suppresses the named
+//     rules on the comment's line and the line directly below it (so a
+//     standalone comment can annotate the statement it precedes);
+//   * the raw comment text per line, which the self-test corpus uses for
+//     its `lint-expect(rule)` golden markers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rubinlint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (pp-numbers, good enough)
+  kString,  // "..." / R"x(...)x" / <...> in an #include context
+  kChar,    // '...'
+  kPunct,   // operators and punctuation, one token per maximal operator
+  kPp,      // a preprocessor directive head: "#include", "#pragma", ...
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;  // repo-relative, '/'-separated
+  std::vector<Token> tokens;
+  /// line -> rule-ids suppressed there ("*" suppresses everything).
+  std::map<int, std::vector<std::string>> allows;
+  /// line -> concatenated comment text on that line.
+  std::map<int, std::string> comments;
+  int last_line = 0;
+};
+
+/// Tokenizes `src`. Never fails: unterminated literals are closed at EOF.
+LexedFile lex(std::string path, std::string_view src);
+
+}  // namespace rubinlint

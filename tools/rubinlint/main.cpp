@@ -1,0 +1,102 @@
+// rubinlint CLI.
+//
+//   rubinlint [--root DIR] [--list-rules] [paths...]
+//
+// Paths (default: src tests) are walked recursively under --root (default:
+// the current directory) for *.cpp / *.hpp; tests/lint_corpus is always
+// excluded — it exists to contain violations. Diagnostics print as
+// `path:line: [rule-id] message`; the exit status is 1 when any exist.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "lexer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+void collect(const fs::path& root, const fs::path& rel,
+             std::vector<std::string>& out) {
+  const fs::path abs = root / rel;
+  std::error_code ec;
+  if (fs::is_regular_file(abs, ec)) {
+    if (lintable(abs)) out.push_back(rel.generic_string());
+    return;
+  }
+  if (!fs::is_directory(abs, ec)) return;
+  std::vector<fs::path> entries;
+  for (const auto& e : fs::directory_iterator(abs, ec))
+    entries.push_back(e.path().filename());
+  std::sort(entries.begin(), entries.end());  // deterministic walk order
+  for (const auto& name : entries) {
+    const fs::path child = rel / name;
+    if (child.generic_string().find("lint_corpus") != std::string::npos)
+      continue;
+    collect(root, child, out);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& r : rubinlint::Analyzer::rule_ids())
+        std::printf("%s\n", r.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: rubinlint [--root DIR] [--list-rules] [paths...]\n");
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tests"};
+
+  std::vector<std::string> files;
+  for (const auto& p : paths) collect(root, p, files);
+  if (files.empty()) {
+    std::fprintf(stderr, "rubinlint: no input files under %s\n", root.c_str());
+    return 2;
+  }
+
+  rubinlint::Analyzer analyzer;
+  for (const auto& rel : files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "rubinlint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    analyzer.add_file(rubinlint::lex(rel, ss.str()));
+  }
+
+  const auto diags = analyzer.finish();
+  for (const auto& d : diags)
+    std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  if (!diags.empty()) {
+    std::fprintf(stderr, "rubinlint: %zu finding(s) in %zu file(s) scanned\n",
+                 diags.size(), files.size());
+    return 1;
+  }
+  std::printf("rubinlint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}
