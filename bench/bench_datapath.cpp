@@ -11,6 +11,7 @@
 #include "common/shared_bytes.hpp"
 #include "crypto/hmac.hpp"
 #include "reptor/messages.hpp"
+#include "verbs/types.hpp"
 
 namespace {
 
@@ -82,6 +83,57 @@ void BM_HmacMidstate(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_HmacMidstate)->Arg(64)->Arg(1024);
+
+FrameVec multi_slice_frame(std::size_t total) {
+  // A typical protocol frame: an 8-byte header slice plus the payload
+  // split across the remaining inline slice slots.
+  const std::size_t body = total - 8;
+  FrameVec fv;
+  fv.append(SharedBytes::copy_of(patterned_bytes(8, 7)));
+  fv.append(SharedBytes::copy_of(patterned_bytes(body / 2, 8)));
+  fv.append(SharedBytes::copy_of(patterned_bytes(body - body / 2, 9)));
+  return fv;
+}
+
+void BM_FramePostFlattened(benchmark::State& state) {
+  // What the pre-PR send path did with a multi-slice frame: gather every
+  // slice into one contiguous staging buffer before posting (the
+  // datapath.copy_bytes memcpy).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FrameVec frame = multi_slice_frame(n);
+  Bytes staging(n);
+  for (auto _ : state) {
+    const std::size_t copied = frame.copy_to(MutByteView(staging));
+    benchmark::DoNotOptimize(staging.data());
+    benchmark::DoNotOptimize(copied);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FramePostFlattened)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_FramePostMultiSge(benchmark::State& state) {
+  // The scatter/gather post path: build one SGE per slice (address +
+  // length into registered space) and let the refcounted handles ride the
+  // WR. No byte of payload is touched — this is the whole replacement
+  // for the gather above, at any payload size.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FrameVec frame = multi_slice_frame(n);
+  for (auto _ : state) {
+    verbs::SgeList sges;
+    std::uint64_t addr = 0x1000;
+    for (const SharedBytes& s : frame) {
+      sges.push_back(verbs::Sge{addr, static_cast<std::uint32_t>(s.size()), 1});
+      addr += s.size();
+    }
+    FrameVec ride = frame;  // the WR's payload references (refcount bumps)
+    benchmark::DoNotOptimize(sges.total_length());
+    benchmark::DoNotOptimize(ride.slice_count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FramePostMultiSge)->Arg(1024)->Arg(16384)->Arg(65536);
 
 void BM_EncodeForReplicas(benchmark::State& state) {
   // The PRE-PREPARE multicast encode: serialize once, MAC per peer with

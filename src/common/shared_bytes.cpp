@@ -49,8 +49,7 @@ SharedBytes SharedBytes::slice(std::size_t offset, std::size_t len) const {
   return SharedBytes(ctrl_, data_ + offset, len);
 }
 
-void SharedBytes::release() noexcept {
-  if (ctrl_ == nullptr) return;
+void SharedBytes::release_live() noexcept {
   if (ref_dec(*ctrl_)) {
     ctrl_->~Ctrl();
     ::operator delete(static_cast<void*>(ctrl_));

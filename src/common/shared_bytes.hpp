@@ -171,7 +171,13 @@ class SharedBytes {
   SharedBytes(Ctrl* ctrl, const std::uint8_t* data, std::size_t size) noexcept
       : ctrl_(ctrl), data_(data), size_(size) {}
 
-  void release() noexcept;
+  /// Null handles are the common case on hot paths (a SendWr's FrameVec
+  /// destroys kInlineSlices handles, most of them empty), so the null
+  /// check inlines and only live handles pay the out-of-line refcount.
+  void release() noexcept {
+    if (ctrl_ != nullptr) release_live();
+  }
+  void release_live() noexcept;
 
   Ctrl* ctrl_ = nullptr;
   const std::uint8_t* data_ = nullptr;

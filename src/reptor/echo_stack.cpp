@@ -31,7 +31,16 @@ sim::Task<void> EchoClient::run() {
       data[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(next_id >> (8 * i));
     }
     in_flight[next_id] = sim_->now();
-    transport_->send(cfg_.server, std::move(msg));
+    if (cfg_.multi_slice && msg.size() > 8) {
+      // Same bytes, two slices: the id header and the tail are zero-copy
+      // views into the one buffer, posted as a scatter/gather list.
+      FrameVec fv;
+      fv.append(msg.slice(0, 8));
+      fv.append(msg.slice(8, msg.size() - 8));
+      transport_->send(cfg_.server, std::move(fv));
+    } else {
+      transport_->send(cfg_.server, std::move(msg));
+    }
     ++next_id;
   };
 

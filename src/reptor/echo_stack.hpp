@@ -26,6 +26,7 @@ class EchoServer {
   sim::Task<void> run();
   void stop() noexcept { running_ = false; }
   std::uint64_t echoed() const noexcept { return echoed_; }
+  const Transport& transport() const noexcept { return *transport_; }
 
  private:
   sim::Simulator* sim_;
@@ -39,6 +40,12 @@ struct EchoClientConfig {
   std::uint32_t window = 30;   // outstanding messages
   std::uint64_t messages = 1000;
   NodeId server = 0;
+  /// Send each message as a two-slice FrameVec — the 8-byte id header and
+  /// the payload tail — instead of one contiguous buffer. The bytes on the
+  /// wire are identical; on the RUBIN backend the slices post as one
+  /// scatter/gather SGE list, skipping the staging gather copy entirely
+  /// (DESIGN.md §11). Payloads of 8 bytes or fewer fall back to one slice.
+  bool multi_slice = false;
 };
 
 struct EchoResult {
@@ -58,6 +65,7 @@ class EchoClient {
 
   sim::Task<void> run();
   EchoResult result() const;
+  const Transport& transport() const noexcept { return *transport_; }
 
  private:
   sim::Simulator* sim_;

@@ -87,11 +87,26 @@ class Transport {
   /// Queues a frame; actual I/O happens on the next poll(). The handle is
   /// shared, never copied — a frame queued to n peers is one allocation.
   void send(NodeId peer, SharedBytes frame) {
+    outbound_[peer].push_back(FrameVec(std::move(frame)));
+  }
+
+  /// Queues a multi-slice frame (e.g. a header skeleton plus a refcounted
+  /// payload). The RUBIN backend posts the slices as one scatter/gather
+  /// SGE list — the gather copy never happens; the NIO backend gathers
+  /// them into its TCP staging buffer (streams have no scatter/gather).
+  void send(NodeId peer, FrameVec frame) {
     outbound_[peer].push_back(std::move(frame));
   }
 
   /// Queues a frame for every replica except self (refcount bumps only).
   void broadcast_replicas(const SharedBytes& frame) {
+    for (NodeId r = 0; r < layout_.replica_count; ++r) {
+      if (r != self_) send(r, frame);
+    }
+  }
+
+  /// Multi-slice broadcast; see send(NodeId, FrameVec).
+  void broadcast_replicas(const FrameVec& frame) {
     for (NodeId r = 0; r < layout_.replica_count; ++r) {
       if (r != self_) send(r, frame);
     }
@@ -112,7 +127,10 @@ class Transport {
  protected:
   GroupLayout layout_;
   NodeId self_;
-  std::map<NodeId, std::deque<SharedBytes>> outbound_;
+  /// Per-peer send queues. Single-slice frames behave exactly as the old
+  /// SharedBytes queues did (the channel's staging path is bit-identical
+  /// for them); multi-slice frames ride the SGE list on the RUBIN backend.
+  std::map<NodeId, std::deque<FrameVec>> outbound_;
   TransportStats stats_;
   StackCost stack_cost_;
 };

@@ -12,6 +12,16 @@ void append_framed(Bytes& out, ByteView frame) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
   out.insert(out.end(), frame.begin(), frame.end());
 }
+
+/// A TCP stream has no scatter/gather: a multi-slice frame is gathered
+/// slice-by-slice into the staging buffer under one length prefix.
+void append_framed(Bytes& out, const FrameVec& frame) {
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.total_size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  for (const SharedBytes& s : frame) {
+    out.insert(out.end(), s.data(), s.data() + s.size());
+  }
+}
 }  // namespace
 
 NioTransport::NioTransport(tcpsim::TcpNetwork& net, GroupLayout layout,
@@ -158,8 +168,8 @@ sim::Task<void> NioTransport::flush() {
         std::size_t staged = 0;
         std::size_t staged_bytes = 0;
         while (!queue.empty() && conn.tx_pending.size() < 256 * 1024) {
-          stats_.bytes_sent += queue.front().size();
-          staged_bytes += queue.front().size();
+          stats_.bytes_sent += queue.front().total_size();
+          staged_bytes += queue.front().total_size();
           ++stats_.frames_sent;
           ++staged;
           append_framed(conn.tx_pending, queue.front());

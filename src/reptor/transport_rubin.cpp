@@ -31,7 +31,17 @@ RubinTransport::RubinTransport(nio::RubinContext& ctx, GroupLayout layout,
       ctx_(&ctx),
       ccfg_(ccfg),
       batch_limit_(batch_limit == 0 ? 1 : batch_limit),
-      selector_(ctx) {}
+      selector_(ctx) {
+  if (ccfg_.policy.mode == nio::TransportPolicy::Mode::kAdaptive) {
+    // The context's cost model outlives this transport (selector lifetime
+    // contract). Derive the inline threshold from the model's crossover
+    // instead of the configured magic number: with the threshold at the
+    // crossover, the channel's size test reproduces pick()'s argmin over
+    // the two-sided kinds frame for frame.
+    xport_sel_.emplace(ctx_->cost(), ccfg_.policy);
+    ccfg_.inline_threshold = xport_sel_->inline_crossover();
+  }
+}
 
 bool RubinTransport::connected(NodeId peer) const {
   const auto it = conns_.find(peer);
@@ -215,22 +225,49 @@ sim::Task<void> RubinTransport::flush() {
     if (it == conns_.end() || !connected(peer)) continue;
     Conn& conn = it->second;
     while (!queue.empty()) {
-      std::vector<SharedBytes> batch;
+      // FrameVec batch: single-slice frames stage exactly as SharedBytes
+      // did (bit-identical charges); multi-slice frames post as one
+      // scatter/gather SGE list with no gather copy (DESIGN.md §11).
+      std::vector<FrameVec> batch;
       const std::size_t take = std::min(batch_limit_, queue.size());
       batch.reserve(take);
       for (std::size_t i = 0; i < take; ++i) batch.push_back(queue[i]);
+      if (xport_sel_) {
+        // Record the selector's per-frame decision (transport.pick.*
+        // audit counters). With no one-sided lane, ring_credits stays 0;
+        // the channel enacts the inline/send-recv choice itself because
+        // its threshold equals the selector's crossover (see header).
+        // send_slots_hint() deliberately: pick must not pump, or the
+        // adaptive run would drift from the fixed run's event order.
+        const std::uint32_t slots = conn.channel->send_slots_hint();
+        for (std::size_t i = 0; i < take; ++i) {
+          nio::SelectorInputs in;
+          in.payload = batch[i].total_size();
+          in.send_slots_free =
+              slots > i ? slots - static_cast<std::uint32_t>(i) : 0;
+          in.ring_credits = 0;
+          // A Reptor peer drains completions via events and polls no
+          // remote-writable memory, so the polled lanes' effective
+          // detection interval is unbounded — price them out honestly
+          // rather than masking them.
+          in.recv_poll_interval = sim::seconds(1);
+          (void)xport_sel_->pick(in);
+        }
+      }
       const std::size_t accepted =
           co_await conn.channel->write_batch(std::move(batch));
       ++stats_.flush_batches;
       if (accepted == 0) break;  // backpressure: retry next poll
       std::size_t accepted_bytes = 0;
-      for (std::size_t i = 0; i < accepted; ++i) accepted_bytes += queue[i].size();
+      for (std::size_t i = 0; i < accepted; ++i) {
+        accepted_bytes += queue[i].total_size();
+      }
       co_await ctx_->simulator().sleep(
           stack_cost_.time(accepted, accepted_bytes));
       for (std::size_t i = 0; i < accepted; ++i) {
-        stats_.bytes_sent += queue.front().size();
+        stats_.bytes_sent += queue.front().total_size();
         ++stats_.frames_sent;
-        // The WR holds its own reference to the frame; nothing to park.
+        // The WR holds its own references to the slices; nothing to park.
         queue.pop_front();
       }
       if (accepted < take) break;

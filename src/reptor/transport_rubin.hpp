@@ -5,10 +5,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "reptor/transport.hpp"
 #include "rubin/context.hpp"
 #include "rubin/selector.hpp"
+#include "rubin/transport_select.hpp"
 
 namespace rubin::reptor {
 
@@ -69,6 +71,17 @@ class RubinTransport final : public Transport {
   nio::ChannelConfig ccfg_;
   std::size_t batch_limit_;
   nio::RdmaSelector selector_;
+  /// Engaged when ccfg_.policy is kAdaptive: the per-frame transport
+  /// selector (transport_select.hpp). A Reptor transport has no one-sided
+  /// lane, so the selector's reachable picks are kInline/kSendRecv — and
+  /// the constructor sets the channel inline threshold to the selector's
+  /// cost-model crossover, so the channel's per-frame inline decision is
+  /// exactly pick()'s argmin. flush() still runs pick() per frame to keep
+  /// the decision auditable (transport.pick.* counters); the pick itself
+  /// is side-effect-free (slots via send_slots_hint(), no pump), so an
+  /// adaptive run's event order is bit-identical to the fixed run it
+  /// agrees with.
+  std::optional<nio::TransportSelector> xport_sel_;
   std::shared_ptr<nio::RdmaServerChannel> server_;
   std::map<NodeId, Conn> conns_;
   /// Accepted channels whose hello has not arrived yet.

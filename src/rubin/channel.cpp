@@ -46,6 +46,18 @@ void RdmaChannel::fail(verbs::WcStatus status) {
 
 void RdmaChannel::init_qp() {
   auto& dev = ctx_->device();
+  // Config validation happens here, before any resource exists: an inline
+  // threshold the device cannot honour used to be silently clamped by the
+  // QP cap, which made every "inline" send above the device limit fail at
+  // post time instead — reject it up front with a message that names both
+  // numbers.
+  if (cfg_.inline_threshold > dev.max_inline()) {
+    throw std::invalid_argument(
+        "ChannelConfig: inline_threshold " +
+        std::to_string(cfg_.inline_threshold) +
+        " exceeds the device max_inline " + std::to_string(dev.max_inline()) +
+        " (lower the threshold or disable inlining with 0)");
+  }
   comp_channel_ = dev.create_channel();
   send_cq_ = dev.create_cq(2 * cfg_.buffer_count, comp_channel_);
   recv_cq_ = dev.create_cq(2 * cfg_.buffer_count, comp_channel_);
@@ -54,6 +66,7 @@ void RdmaChannel::init_qp() {
   qc.max_send_wr = cfg_.buffer_count;
   qc.max_recv_wr = cfg_.buffer_count;
   qc.max_inline = static_cast<std::uint32_t>(cfg_.inline_threshold);
+  qc.max_sge = verbs::SgeList::kMaxSges;
   qc.transport_retry_timeout_ns = cfg_.transport_retry_timeout_ns;
   qp_ = dev.create_qp(ctx_->pd(), *send_cq_, *recv_cq_, qc);
 
@@ -189,9 +202,9 @@ sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
     // (physically elided when a handle is attached — post_send still
     // charges the WQE copy).
     wr.inline_data = true;
-    wr.sge = verbs::Sge{reinterpret_cast<std::uint64_t>(msg.data()),
-                        static_cast<std::uint32_t>(msg.size()), 0};
-    if (zero_copy) wr.shared_payload = *handle;
+    wr.sg_list = verbs::Sge{reinterpret_cast<std::uint64_t>(msg.data()),
+                            static_cast<std::uint32_t>(msg.size()), 0};
+    if (zero_copy) wr.shared_payload.append(*handle);
     ++stats_.inline_sends;
   } else if (cfg_.zero_copy_send) {
     // Register (or reuse) the application buffer itself (§IV).
@@ -203,10 +216,10 @@ sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
           MutByteView(const_cast<std::uint8_t*>(msg.data()), msg.size()), 0u);
       ++stats_.send_registrations;
     }
-    wr.sge = verbs::Sge{reinterpret_cast<std::uint64_t>(msg.data()),
-                        static_cast<std::uint32_t>(msg.size()),
-                        cached->lkey()};
-    if (zero_copy) wr.shared_payload = *handle;
+    wr.sg_list = verbs::Sge{reinterpret_cast<std::uint64_t>(msg.data()),
+                            static_cast<std::uint32_t>(msg.size()),
+                            cached->lkey()};
+    if (zero_copy) wr.shared_payload.append(*handle);
     ++stats_.zero_copy_sends;
   } else {
     // Copy into a pooled, pre-registered buffer. The slot and the copy
@@ -217,16 +230,22 @@ sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
     if (!slot) co_return false;
     co_await sim.sleep(cost.copy_time(msg.size()));
     if (zero_copy) {
-      wr.shared_payload = *handle;
+      wr.shared_payload.append(*handle);
     } else {
       RUBIN_AUDIT_COUNT("datapath.copy_bytes", msg.size());
       std::memcpy(send_pool_->view(*slot).data(), msg.data(), msg.size());
     }
-    wr.sge = send_pool_->sge(*slot, static_cast<std::uint32_t>(msg.size()));
+    wr.sg_list = send_pool_->sge(*slot, static_cast<std::uint32_t>(msg.size()));
     rec.pool_slot = static_cast<std::int32_t>(*slot);
     ++stats_.pool_copy_sends;
   }
 
+  enqueue_staged(std::move(wr), rec, out);
+  co_return true;
+}
+
+void RdmaChannel::enqueue_staged(verbs::SendWr&& wr, OutstandingSend rec,
+                                 std::vector<verbs::SendWr>& out) {
   // Selective signaling: every Nth send requests a completion; also signal
   // when the send queue is nearly exhausted so slots always come back.
   ++sends_since_signal_;
@@ -249,8 +268,69 @@ sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
                      "outstanding WRs exceed the send queue depth (" +
                          std::to_string(outstanding_.size()) + " > " +
                          std::to_string(cfg_.buffer_count) + ")");
-  out.push_back(wr);
+  out.push_back(std::move(wr));
   ++stats_.messages_sent;
+}
+
+sim::Task<bool> RdmaChannel::stage_frame(const FrameVec& frame,
+                                         std::vector<verbs::SendWr>& out) {
+  if (frame.slice_count() <= 1) {
+    // Degenerate frames take the classic single-SGE path and stay
+    // bit-identical to a SharedBytes write.
+    SharedBytes whole =
+        frame.slice_count() == 1 ? frame.slice_at(0) : SharedBytes{};
+    co_return co_await stage_message(whole.view(), &whole, out);
+  }
+  const std::size_t total = frame.total_size();
+  if (total > cfg_.buffer_size) {
+    throw std::invalid_argument(
+        "RdmaChannel::write: frame exceeds buffer_size");
+  }
+  if (qp_->send_slots_free() <= out.size()) co_return false;
+
+  verbs::SendWr wr;
+  wr.opcode = verbs::Opcode::kSend;
+  wr.wr_id = stats_.messages_sent;
+
+  OutstandingSend rec;
+  const bool inlined =
+      cfg_.inline_threshold > 0 && total <= cfg_.inline_threshold;
+  if (inlined) {
+    // Inline gather: the CPU reads the slices straight into the WQE
+    // (IBV_SEND_INLINE ignores lkeys); post_send charges the WQE copy
+    // over the total, and the handles elide the physical copy.
+    wr.inline_data = true;
+    for (const SharedBytes& s : frame) {
+      wr.sg_list.push_back(
+          verbs::Sge{reinterpret_cast<std::uint64_t>(s.data()),
+                     static_cast<std::uint32_t>(s.size()), 0});
+    }
+    wr.shared_payload = frame;
+    ++stats_.inline_sends;
+  } else {
+    // True scatter/gather post — the tentpole. The pool slot donates
+    // registered address space for the SGE list (a registered arena, as
+    // real zero-copy stacks allocate from) and the refcounted slices ride
+    // the WR; the NIC DMA-gathers the elements directly. The old pool
+    // path's staging memcpy — its copy_time charge *and* the physical
+    // copy counted in datapath.copy_bytes — does not happen at all:
+    // that memcpy is the "last gather copy" this path removes.
+    const auto slot = send_pool_->acquire();
+    if (!slot) co_return false;
+    const verbs::Sge whole =
+        send_pool_->sge(*slot, static_cast<std::uint32_t>(total));
+    std::uint64_t addr = whole.addr;
+    for (const SharedBytes& s : frame) {
+      wr.sg_list.push_back(verbs::Sge{
+          addr, static_cast<std::uint32_t>(s.size()), whole.lkey});
+      addr += s.size();
+    }
+    wr.shared_payload = frame;
+    rec.pool_slot = static_cast<std::int32_t>(*slot);
+    ++stats_.gather_sends;
+  }
+
+  enqueue_staged(std::move(wr), rec, out);
   co_return true;
 }
 
@@ -321,6 +401,47 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<SharedBytes> msgs) {
   std::size_t accepted = 0;
   for (const SharedBytes& msg : msgs) {
     if (!co_await stage_message(msg.view(), &msg, wrs)) break;
+    ++accepted;
+  }
+  if (wrs.empty()) {
+    co_await ctx_->simulator().sleep(ctx_->cost().post_call_cpu);
+    co_return 0;
+  }
+
+  ++stats_.doorbells;
+  const verbs::PostResult r = co_await qp_->post_send(std::move(wrs));
+  if (r != verbs::PostResult::kOk) {
+    fail(verbs::WcStatus::kWorkRequestFlushed);
+    co_return 0;
+  }
+  co_return accepted;
+}
+
+sim::Task<std::size_t> RdmaChannel::write(FrameVec msg) {
+  const std::size_t len = msg.total_size();
+  std::vector<FrameVec> one;
+  one.push_back(std::move(msg));
+  const std::size_t n = co_await write_batch(std::move(one));
+  co_return n == 1 ? len : 0;
+}
+
+sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<FrameVec> msgs) {
+  co_await ack_events();
+  pump();
+  RUBIN_AUDIT_ASSERT("channel",
+                     outstanding_.size() == posted_wrs_ - reclaimed_wrs_,
+                     "posted/reclaimed WR accounting diverged from the "
+                     "outstanding queue");
+  if (state_ != State::kEstablished || msgs.empty()) {
+    co_await ctx_->simulator().sleep(ctx_->cost().post_call_cpu);
+    co_return 0;
+  }
+
+  std::vector<verbs::SendWr> wrs;
+  wrs.reserve(msgs.size());
+  std::size_t accepted = 0;
+  for (const FrameVec& msg : msgs) {
+    if (!co_await stage_frame(msg, wrs)) break;
     ++accepted;
   }
   if (wrs.empty()) {
@@ -416,6 +537,17 @@ bool RdmaChannel::writable() noexcept {
     return send_pool_->free_count() > 0;
   }
   return true;
+}
+
+std::uint32_t RdmaChannel::send_slots_free() noexcept {
+  if (state_ != State::kEstablished) return 0;
+  pump();
+  return qp_->send_slots_free();
+}
+
+std::uint32_t RdmaChannel::send_slots_hint() const noexcept {
+  if (state_ != State::kEstablished) return 0;
+  return qp_->send_slots_free();
 }
 
 sim::Task<std::size_t> RdmaChannel::read_await(MutByteView out) {

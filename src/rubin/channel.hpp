@@ -48,6 +48,9 @@ struct ChannelStats {
   std::uint64_t doorbells = 0;
   std::uint64_t send_registrations = 0;  // zero-copy cache misses
   std::uint64_t receive_copies = 0;
+  /// Multi-slice frames posted as true scatter/gather SGE lists — the
+  /// sends where the old per-message gather memcpy no longer happens.
+  std::uint64_t gather_sends = 0;
 };
 
 class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
@@ -98,6 +101,16 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   /// Zero-copy batch; see write(SharedBytes).
   sim::Task<std::size_t> write_batch(std::vector<SharedBytes> msgs);
 
+  /// Scatter/gather send: a multi-slice frame is posted as one WR whose
+  /// SGE list maps 1:1 onto the slices — the gather memcpy the flattening
+  /// path performed (and charged) does not happen at all. Single-slice
+  /// frames take exactly the write(SharedBytes) path. The peer receives
+  /// one contiguous message either way.
+  sim::Task<std::size_t> write(FrameVec msg);
+
+  /// Scatter/gather batch; see write(FrameVec).
+  sim::Task<std::size_t> write_batch(std::vector<FrameVec> msgs);
+
   /// Receives one message into `out`. Returns its size, or 0 when no
   /// message is pending. Throws std::invalid_argument if `out` is smaller
   /// than the pending message (message-oriented, no partial reads).
@@ -113,6 +126,15 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   std::size_t readable_messages() noexcept;
   /// True when write() would accept a message right now.
   bool writable() noexcept;
+  /// Free send-queue slots right now (0 while not established) — the
+  /// queue-depth pressure input of the transport selector.
+  std::uint32_t send_slots_free() noexcept;
+  /// Side-effect-free variant of send_slots_free(): reports the slots as
+  /// of the last pump, without processing completions. A selector reading
+  /// this (e.g. per-frame picks inside a flush loop) perturbs nothing —
+  /// pumping here would shift the selective-signaling cadence and break
+  /// the fixed-policy bit-identity guarantee.
+  std::uint32_t send_slots_hint() const noexcept;
 
   /// Standalone (selector-less) helper: waits until a message arrives or
   /// the channel dies, then reads it. Used by the Fig-3 micro-benchmark.
@@ -172,6 +194,14 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   /// payload (same charges, no physical staging copies).
   sim::Task<bool> stage_message(ByteView msg, const SharedBytes* handle,
                                 std::vector<verbs::SendWr>& out);
+  /// Multi-slice sibling of stage_message: builds one WR whose SGE list
+  /// covers the frame's slices (no gather copy, physical or charged).
+  sim::Task<bool> stage_frame(const FrameVec& frame,
+                              std::vector<verbs::SendWr>& out);
+  /// Shared epilogue of the staging paths: selective signaling, the
+  /// outstanding-WR accounting, and the batch hand-off.
+  void enqueue_staged(verbs::SendWr&& wr, OutstandingSend rec,
+                      std::vector<verbs::SendWr>& out);
   /// Shared epilogue of read()/read_shared(): charges the receive-side
   /// copy when configured and recycles the receive buffer.
   sim::Task<void> finish_read(const FilledRecv& msg);

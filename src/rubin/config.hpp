@@ -9,6 +9,28 @@
 
 namespace rubin::nio {
 
+/// The transport primitives a frame can travel by (paper §II/III: inline
+/// WQE, two-sided send/receive, one-sided write into a mailbox ring, and
+/// responder-driven read-drain).
+enum class TransportKind : std::uint8_t {
+  kInline,
+  kSendRecv,
+  kWrite,
+  kReadDrain,
+};
+
+/// Per-channel transport policy. The default (kFixed) reproduces every
+/// pre-existing configuration bit-identically: the channel uses exactly
+/// the primitive the config names and the selector never runs. kAdaptive
+/// turns on the per-frame selector (transport_select.hpp), which picks the
+/// cheapest primitive from the cost model's crossover constants.
+struct TransportPolicy {
+  enum class Mode : std::uint8_t { kFixed, kAdaptive };
+  Mode mode = Mode::kFixed;
+  /// The primitive used under kFixed (ignored under kAdaptive).
+  TransportKind fixed = TransportKind::kSendRecv;
+};
+
 struct ChannelConfig {
   /// Buffers (== work requests) per direction. Receives are pre-posted in
   /// full at channel creation — under-provisioning shows up as RNR stalls,
@@ -39,6 +61,9 @@ struct ChannelConfig {
   /// what degrades large-message latency in Figs. 3/4 (Ablation A3 flips
   /// this).
   bool zero_copy_receive = false;
+  /// Per-frame transport selection (PR 7). kFixed keeps the classic
+  /// behaviour; kAdaptive consults the TransportSelector per frame.
+  TransportPolicy policy;
 };
 
 }  // namespace rubin::nio

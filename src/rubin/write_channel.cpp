@@ -61,10 +61,18 @@ OneSidedChannel::create_pair(RubinContext& a, RubinContext& b,
   return {std::move(ca), std::move(cb)};
 }
 
-sim::Task<std::size_t> OneSidedChannel::write(ByteView msg) {
-  if (msg.size() > cfg_.slot_payload) {
-    throw std::invalid_argument("OneSidedChannel::write: message too large");
-  }
+std::uint64_t OneSidedChannel::credits_available() const noexcept {
+  // Same plausibility filter as acquire_credit(), but pure: an implausible
+  // (forgeable, §III-C) cell value falls back to the last accepted one.
+  const std::uint64_t consumed = read_u64(credit_cell_.data());
+  const std::uint64_t plausible =
+      (consumed < last_credit_ || consumed > sent_seq_) ? last_credit_
+                                                        : consumed;
+  const std::uint64_t in_flight = sent_seq_ - plausible;
+  return in_flight >= cfg_.slot_count ? 0 : cfg_.slot_count - in_flight;
+}
+
+sim::Task<bool> OneSidedChannel::acquire_credit() {
   (void)scq_->poll(16);  // retire old signaled completions (busy-poll mode)
 
   // Flow control: the peer writes its consumed count into our credit
@@ -83,11 +91,19 @@ sim::Task<std::size_t> OneSidedChannel::write(ByteView msg) {
   if (sent_seq_ - consumed >= cfg_.slot_count) {
     ++stats_.no_credit_stalls;
     co_await ctx_->simulator().sleep(ctx_->cost().post_call_cpu);
-    co_return 0;
+    co_return false;
   }
   RUBIN_AUDIT_ASSERT("onesided", sent_seq_ - consumed < cfg_.slot_count,
                      "ring slot about to be reused before the peer "
                      "consumed it");
+  co_return true;
+}
+
+sim::Task<std::size_t> OneSidedChannel::write(ByteView msg) {
+  if (msg.size() > cfg_.slot_payload) {
+    throw std::invalid_argument("OneSidedChannel::write: message too large");
+  }
+  if (!co_await acquire_credit()) co_return 0;
 
   // Stage header + payload in our registered staging slot, then one
   // RDMA WRITE places the whole message in the peer's ring.
@@ -103,9 +119,9 @@ sim::Task<std::size_t> OneSidedChannel::write(ByteView msg) {
   verbs::SendWr wr;
   wr.opcode = verbs::Opcode::kRdmaWrite;
   wr.wr_id = sent_seq_;
-  wr.sge = verbs::Sge{bootstrap_mr_->addr() + idx * slot_stride(),
-                      static_cast<std::uint32_t>(kHeader + msg.size()),
-                      bootstrap_mr_->lkey()};
+  wr.sg_list = verbs::Sge{bootstrap_mr_->addr() + idx * slot_stride(),
+                          static_cast<std::uint32_t>(kHeader + msg.size()),
+                          bootstrap_mr_->lkey()};
   wr.remote_addr = remote_ring_addr_ + idx * slot_stride();
   wr.rkey = remote_ring_rkey_;
   wr.signaled = (++wr_seq_ % 16) == 0;
@@ -114,6 +130,54 @@ sim::Task<std::size_t> OneSidedChannel::write(ByteView msg) {
   ++sent_seq_;
   ++stats_.messages_sent;
   co_return msg.size();
+}
+
+sim::Task<std::size_t> OneSidedChannel::write(FrameVec msg) {
+  if (msg.total_size() > cfg_.slot_payload) {
+    throw std::invalid_argument("OneSidedChannel::write: message too large");
+  }
+  if (1 + msg.slice_count() > verbs::SgeList::kMaxSges) {
+    throw std::invalid_argument(
+        "OneSidedChannel::write: frame has too many slices for the SGE list");
+  }
+  if (!co_await acquire_credit()) co_return 0;
+
+  // Scatter/gather one-sided write: the header is built in a fresh
+  // refcounted slice and the payload slices ride as-is — the staging
+  // memcpy of the flat path (both its copy_time charge and the physical
+  // copy) never happens. The SGE list addresses the staging slot, whose
+  // registered address space anchors the protection checks.
+  const std::size_t idx = sent_seq_ % cfg_.slot_count;
+  const std::uint32_t len = static_cast<std::uint32_t>(msg.total_size());
+  SharedBytes header = SharedBytes::allocate(kHeader);
+  std::uint8_t* h = header.mutable_data();
+  std::memcpy(h, &len, 4);
+  std::memset(h + 4, 0, 4);
+  write_u64(h + 8, sent_seq_ + 1);
+
+  verbs::SendWr wr;
+  wr.opcode = verbs::Opcode::kRdmaWrite;
+  wr.wr_id = sent_seq_;
+  const std::uint64_t slot_addr = bootstrap_mr_->addr() + idx * slot_stride();
+  wr.sg_list = verbs::Sge{slot_addr, static_cast<std::uint32_t>(kHeader),
+                          bootstrap_mr_->lkey()};
+  std::uint64_t addr = slot_addr + kHeader;
+  FrameVec wire(std::move(header));
+  for (const SharedBytes& s : msg) {
+    wr.sg_list.push_back(verbs::Sge{addr, static_cast<std::uint32_t>(s.size()),
+                                    bootstrap_mr_->lkey()});
+    addr += s.size();
+    wire.append(s);
+  }
+  wr.shared_payload = std::move(wire);
+  wr.remote_addr = remote_ring_addr_ + idx * slot_stride();
+  wr.rkey = remote_ring_rkey_;
+  wr.signaled = (++wr_seq_ % 16) == 0;
+  const auto r = co_await qp_->post_send_one(std::move(wr));
+  if (r != verbs::PostResult::kOk) co_return 0;
+  ++sent_seq_;
+  ++stats_.messages_sent;
+  co_return msg.total_size();
 }
 
 sim::Task<std::size_t> OneSidedChannel::read(MutByteView out) {
@@ -172,7 +236,7 @@ sim::Task<void> OneSidedChannel::return_credits() {
   wr.opcode = verbs::Opcode::kRdmaWrite;
   wr.wr_id = 0xC3ED17;
   wr.inline_data = true;
-  wr.sge = verbs::Sge{reinterpret_cast<std::uint64_t>(scratch), 8, 0};
+  wr.sg_list = verbs::Sge{reinterpret_cast<std::uint64_t>(scratch), 8, 0};
   wr.remote_addr = remote_credit_addr_;
   wr.rkey = remote_credit_rkey_;
   wr.signaled = false;

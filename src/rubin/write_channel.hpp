@@ -60,6 +60,13 @@ class OneSidedChannel {
   /// Returns msg.size(), or 0 when out of credits (peer not consuming).
   sim::Task<std::size_t> write(ByteView msg);
 
+  /// Scatter/gather one-sided send: the 16-byte slot header and the
+  /// frame's slices travel as one RDMA WRITE with a multi-element SGE
+  /// list — the staging memcpy of the flat path (its copy_time charge and
+  /// the physical copy) is gone. Slice budget: header + slices must fit
+  /// verbs::SgeList::kMaxSges.
+  sim::Task<std::size_t> write(FrameVec msg);
+
   /// Polls the local ring; returns the next message or 0 if none.
   sim::Task<std::size_t> read(MutByteView out);
 
@@ -69,6 +76,10 @@ class OneSidedChannel {
 
   const OneSidedStats& stats() const noexcept { return stats_; }
   const OneSidedConfig& config() const noexcept { return cfg_; }
+  /// Ring slots a write() could claim right now, by the sender's own
+  /// (conservative, forgery-filtered) view of the peer's credit cell —
+  /// the ring-credit input of the transport selector.
+  std::uint64_t credits_available() const noexcept;
   /// Remotely writable bytes this endpoint must expose (the §III-C
   /// attack surface; grows linearly with the number of peers).
   std::size_t exposed_bytes() const noexcept { return ring_.size() + 16; }
@@ -90,6 +101,10 @@ class OneSidedChannel {
     return 16 + cfg_.slot_payload;  // u32 len | u32 pad | u64 seq | payload
   }
   sim::Task<void> return_credits();
+  /// Shared flow-control preamble of the write paths: polls completions,
+  /// reads the (remotely writable) credit cell, and reports whether a
+  /// ring slot is available. Sleeps post_call_cpu when stalled.
+  sim::Task<bool> acquire_credit();
 
   RubinContext* ctx_;
   OneSidedConfig cfg_;

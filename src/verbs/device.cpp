@@ -7,6 +7,23 @@
 
 namespace rubin::verbs {
 
+namespace {
+
+/// The slice of a SendWr the delivery side of a transmit needs. The full
+/// SendWr carries an SGE list and payload handles (~4x this size); those
+/// stay on the posting side, and only this header rides the per-frame
+/// delivery closures.
+struct WireWr {
+  std::uint64_t wr_id;
+  std::uint64_t remote_addr;
+  std::uint32_t rkey;
+  std::uint32_t read_len;
+  Opcode opcode;
+  bool signaled;
+};
+
+}  // namespace
+
 const char* to_string(WcStatus s) noexcept {
   switch (s) {
     case WcStatus::kSuccess: return "success";
@@ -27,6 +44,7 @@ const char* to_string(PostResult r) noexcept {
     case PostResult::kQueueFull: return "queue-full";
     case PostResult::kInvalidState: return "invalid-state";
     case PostResult::kTooLarge: return "too-large";
+    case PostResult::kInvalidSge: return "invalid-sge";
   }
   return "?";
 }
@@ -115,29 +133,44 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
   if (state_ != QpState::kReadyToSend) co_return PostResult::kInvalidState;
   if (wrs.size() > send_slots_free()) co_return PostResult::kQueueFull;
   for (const SendWr& wr : wrs) {
+    // EINVAL before anything is charged or posted: an empty sg_list and
+    // an over-capability one are both programming errors — nothing is
+    // silently clamped.
+    if (wr.sg_list.empty() || wr.sg_list.size() > cfg_.max_sge) {
+      co_return PostResult::kInvalidSge;
+    }
+    const std::uint64_t total = wr.sg_list.total_length();
     if (wr.inline_data &&
-        (wr.sge.length > dev_->max_inline() || wr.sge.length > cfg_.max_inline)) {
+        (total > dev_->max_inline() || total > cfg_.max_inline)) {
       co_return PostResult::kTooLarge;
     }
   }
 
   // CPU: build each WQE; inline payloads are copied into the WQE now.
   // Inline data needs no memory registration — the CPU reads the user
-  // buffer directly (IBV_SEND_INLINE ignores the lkey).
+  // buffer directly (IBV_SEND_INLINE ignores the lkey). The copy charge
+  // is one copy_time over the *total* length: charging per SGE would
+  // truncate fractional nanoseconds per slice and break bit-identity
+  // with the flattened equivalent.
   sim::Time cpu = static_cast<sim::Time>(wrs.size()) * cm.wqe_build_cpu;
-  std::vector<SharedBytes> inline_payloads(wrs.size());
+  std::vector<FrameVec> inline_payloads;
   for (std::size_t i = 0; i < wrs.size(); ++i) {
     const SendWr& wr = wrs[i];
     if (!wr.inline_data) continue;
-    cpu += cm.copy_time(wr.sge.length);
+    if (inline_payloads.empty()) inline_payloads.resize(wrs.size());
+    cpu += cm.copy_time(wr.sg_list.total_length());
     if (!wr.shared_payload.empty()) {
-      // The WQE copy is elided: the refcounted handle pins the payload
+      // The WQE copy is elided: the refcounted handles pin the payload
       // until the NIC is done with it. The copy_time charge above stays —
       // real inline posting pays it.
       inline_payloads[i] = wr.shared_payload;
     } else {
-      const auto* src = reinterpret_cast<const std::uint8_t*>(wr.sge.addr);
-      inline_payloads[i] = SharedBytes::copy_of(ByteView(src, wr.sge.length));
+      FrameVec gathered;
+      for (const Sge& s : wr.sg_list) {
+        const auto* src = reinterpret_cast<const std::uint8_t*>(s.addr);
+        gathered.append(SharedBytes::copy_of(ByteView(src, s.length)));
+      }
+      inline_payloads[i] = std::move(gathered);
     }
   }
   co_await sim.sleep(cpu);
@@ -145,12 +178,23 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
   // NIC pipeline: the batch becomes visible one doorbell after the post.
   sim::Time ready = sim.now() + cm.doorbell;
   for (std::size_t i = 0; i < wrs.size(); ++i) {
-    const SendWr wr = wrs[i];
+    SendWr& wr = wrs[i];
     ++send_queue_used_;
 
     const bool need_local_write = wr.opcode == Opcode::kRdmaRead;
-    if (!wr.inline_data &&
-        pd_->check_local(wr.sge, need_local_write) == nullptr) {
+    bool protection_ok = true;
+    if (!wr.inline_data) {
+      // Every SGE is validated independently — a slice spanning an MR
+      // boundary or a wrong lkey on the Nth element fails the whole WR,
+      // exactly as hardware NAKs the WQE.
+      for (const Sge& s : wr.sg_list) {
+        if (pd_->check_local(s, need_local_write) == nullptr) {
+          protection_ok = false;
+          break;
+        }
+      }
+    }
+    if (!protection_ok) {
       complete_send(wr.wr_id, wr.opcode, WcStatus::kLocalProtectionError,
                     /*signaled=*/true);
       break;
@@ -164,14 +208,17 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
     // NIC work: fetch + process the WQE; read the payload over DMA unless
     // it was inlined into the WQE.
     if (wr.opcode == Opcode::kRdmaRead) {
-      pending_reads_[wr.wr_id] = PendingRead{wr.sge, wr.signaled};
+      pending_reads_[wr.wr_id] = PendingRead{wr.sg_list, wr.signaled};
     }
 
     const bool has_payload = wr.opcode != Opcode::kRdmaRead;
     sim::Time nic_work = cm.wqe_processing;
     if (has_payload && !wr.inline_data) {
-      // Non-inline: the NIC fetches the payload over PCIe.
-      nic_work += cm.dma_fetch_latency + cm.dma_time(wr.sge.length);
+      // Non-inline: the NIC fetches the payload over PCIe. One fetch
+      // latency per WQE and one dma_time over the total — the gather is
+      // pipelined on hardware, and per-slice charging would truncate
+      // differently than the flattened equivalent.
+      nic_work += cm.dma_fetch_latency + cm.dma_time(wr.sg_list.total_length());
     }
     const sim::Time tx_ready = dev_->nic_admit(ready, nic_work);
     ready = tx_ready;
@@ -196,39 +243,54 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
     // completes is a data race, exactly as on hardware). With a
     // shared_payload handle the snapshot is free: immutability means the
     // bytes the NIC would DMA now are the bytes the handle already holds.
-    SharedBytes payload = std::move(inline_payloads[i]);
+    FrameVec payload;
+    if (!inline_payloads.empty()) payload = std::move(inline_payloads[i]);
+    if (!wr.inline_data && !wr.shared_payload.empty()) {
+      payload = std::move(wr.shared_payload);
+    }
+    // Only the header slice of the WR survives past the post: the DMA-time
+    // snapshot needs the SGE list and the delivery side needs WireWr, so
+    // the closures capture those pieces instead of the full SendWr (SGE
+    // list + payload handles + flags, ~2x the size).
+    const WireWr w{wr.wr_id, wr.remote_addr, wr.rkey,
+                   static_cast<std::uint32_t>(wr.sg_list.total_length()),
+                   wr.opcode, wr.signaled};
+    const bool recheck = !wr.inline_data && wr.opcode != Opcode::kRdmaRead;
     auto self = weak_from_this();
     Device* rdev = remote_dev_;
     const std::uint32_t rqpn = remote_qpn_;
-    sim.schedule_at(tx_ready, [this, self, wr, rdev, rqpn,
+    sim.schedule_at(tx_ready, [this, self, w, recheck, rdev, rqpn,
+                               sg_list = wr.sg_list,
                                payload = std::move(payload)]() mutable {
       if (self.expired()) return;
-      if (!wr.inline_data && wr.opcode != Opcode::kRdmaRead) {
-        const MemoryRegion* m = pd_->check_local(wr.sge, false);
-        if (m == nullptr) {  // deregistered between post and DMA
-          complete_send(wr.wr_id, wr.opcode, WcStatus::kLocalProtectionError,
-                        true);
-          return;
+      if (recheck) {
+        FrameVec snapshot;
+        for (const Sge& s : sg_list) {
+          const MemoryRegion* m = pd_->check_local(s, false);
+          if (m == nullptr) {  // deregistered between post and DMA
+            complete_send(w.wr_id, w.opcode,
+                          WcStatus::kLocalProtectionError, true);
+            return;
+          }
+          if (payload.empty()) {
+            snapshot.append(
+                SharedBytes::copy_of(ByteView(m->data_at(s.addr), s.length)));
+          }
         }
-        if (!wr.shared_payload.empty()) {
-          payload = wr.shared_payload;
-        } else {
-          payload = SharedBytes::copy_of(
-              ByteView(m->data_at(wr.sge.addr), wr.sge.length));
-        }
+        if (payload.empty()) payload = std::move(snapshot);
       }
       const std::size_t wire_len =
-          wr.opcode == Opcode::kRdmaRead ? 28 : payload.size();
+          w.opcode == Opcode::kRdmaRead ? 28 : payload.total_size();
       dev_->fabric().transmit(
           dev_->host(), rdev->host(), wire_len,
-          [self, wr, rdev, rqpn, payload = std::move(payload)](
+          [self, w, rdev, rqpn, payload = std::move(payload)](
               const net::FrameFault& fault) mutable {
             // Fabric fault verdicts, RC semantics. A duplicated frame
             // carries a PSN the responder has already acked: everything
             // but an RDMA WRITE (whose DMA is idempotent and completes
             // nothing on re-execution) is discarded, and the ghost never
             // completes the sender's WR a second time.
-            if (fault.duplicate && wr.opcode != Opcode::kRdmaWrite) {
+            if (fault.duplicate && w.opcode != Opcode::kRdmaWrite) {
               RUBIN_AUDIT_COUNT("verbs.duplicate_discarded", 1);
               return;
             }
@@ -236,7 +298,7 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
             auto target = rdev->find_qp(rqpn);
             if (target == nullptr || target->state_ == QpState::kError) {
               if (sender && !fault.duplicate) {
-                sender->complete_send(wr.wr_id, wr.opcode,
+                sender->complete_send(w.wr_id, w.opcode,
                                       WcStatus::kRemoteOperationError, true);
               }
               return;
@@ -246,26 +308,26 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
               // and is dropped — the transport watchdog notices. A garbled
               // payload is delivered: detecting it is the MAC layer's job,
               // which is exactly what FaultLab scenarios assert.
-              if (wr.opcode == Opcode::kRdmaRead || payload.empty()) return;
-              SharedBytes garbled = SharedBytes::copy_of(payload.view());
+              if (w.opcode == Opcode::kRdmaRead || payload.empty()) return;
+              SharedBytes garbled = payload.flatten();
               garbled.mutable_data()[fault.corrupt_offset % garbled.size()] ^=
                   fault.corrupt_mask;
-              payload = std::move(garbled);
+              payload = FrameVec(std::move(garbled));
             }
-            switch (wr.opcode) {
+            switch (w.opcode) {
               case Opcode::kSend:
                 target->on_send_arrival(InboundSend{
-                    std::move(payload), self, wr.wr_id, wr.signaled, 0, 0});
+                    std::move(payload), self, w.wr_id, w.signaled, 0, 0});
                 break;
               case Opcode::kRdmaWrite:
                 target->on_write_arrival(
-                    wr.rkey, wr.remote_addr, std::move(payload),
+                    w.rkey, w.remote_addr, std::move(payload),
                     fault.duplicate ? std::weak_ptr<QueuePair>{} : self,
-                    wr.wr_id, wr.signaled && !fault.duplicate);
+                    w.wr_id, w.signaled && !fault.duplicate);
                 break;
               case Opcode::kRdmaRead:
-                target->on_read_request(wr.remote_addr, wr.rkey, wr.sge.length,
-                                        self, wr.wr_id);
+                target->on_read_request(w.remote_addr, w.rkey, w.read_len,
+                                        self, w.wr_id);
                 break;
               case Opcode::kRecv:
                 break;  // unreachable: not a send opcode
@@ -277,7 +339,8 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
 }
 
 sim::Task<PostResult> QueuePair::post_send_one(SendWr wr) {
-  std::vector<SendWr> v{wr};
+  std::vector<SendWr> v;
+  v.push_back(std::move(wr));
   co_return co_await post_send(std::move(v));
 }
 
@@ -357,13 +420,13 @@ void QueuePair::drain_inbound() {
       fail_both(WcStatus::kLocalProtectionError, WcStatus::kRemoteOperationError);
       return;
     }
-    if (in.payload.size() > rwr.sge.length) {
+    if (in.payload.total_size() > rwr.sge.length) {
       fail_both(WcStatus::kRecvBufferTooSmall, WcStatus::kRemoteOperationError);
       return;
     }
 
     // DMA the payload into the receive buffer, then complete.
-    const std::uint32_t len = static_cast<std::uint32_t>(in.payload.size());
+    const std::uint32_t len = static_cast<std::uint32_t>(in.payload.total_size());
     const sim::Time done = dev_->nic_admit(
         sim.now(), cm.recv_match_cost + cm.dma_time(len));
     std::uint8_t* dst = mr->data_at(rwr.sge.addr);
@@ -374,13 +437,34 @@ void QueuePair::drain_inbound() {
           if (!qp || qp->state_ == QpState::kError) return;
           // The DMA-write charge is already in `done`; the physical copy
           // into the MR happens only when the receiver reads the MR bytes
-          // directly. capture_payload consumers get the handle instead.
+          // directly. capture_payload consumers get the handle instead —
+          // a spliced frame is gathered here, at the receiver, which is
+          // where the paper's measured receive-side copy lives (it is
+          // counted as such, never as a send-path copy).
           SharedBytes captured;
           if (rwr.capture_payload) {
-            captured = in.payload;
+            if (in.payload.slice_count() <= 1) {
+              if (in.payload.slice_count() == 1) {
+                captured = in.payload.slice_at(0);
+              }
+            } else {
+              RUBIN_AUDIT_COUNT("datapath.recv_copy_bytes",
+                                in.payload.total_size());
+              captured = SharedBytes::allocate(in.payload.total_size());
+              std::uint8_t* p = captured.mutable_data();
+              for (const SharedBytes& s : in.payload) {
+                std::memcpy(p, s.data(), s.size());
+                p += s.size();
+              }
+            }
           } else {
-            RUBIN_AUDIT_COUNT("datapath.recv_copy_bytes", in.payload.size());
-            std::memcpy(dst, in.payload.data(), in.payload.size());
+            RUBIN_AUDIT_COUNT("datapath.recv_copy_bytes",
+                              in.payload.total_size());
+            std::uint8_t* p = dst;
+            for (const SharedBytes& s : in.payload) {
+              std::memcpy(p, s.data(), s.size());
+              p += s.size();
+            }
           }
           sim.schedule_after(cm.cqe_cost,
                              [self, rwr, len,
@@ -432,15 +516,16 @@ void QueuePair::rnr_tick() {
 }
 
 void QueuePair::on_write_arrival(std::uint32_t rkey, std::uint64_t remote_addr,
-                                 SharedBytes payload,
+                                 FrameVec payload,
                                  std::weak_ptr<QueuePair> sender,
                                  std::uint64_t wr_id, bool signaled) {
   // One-sided writes always materialize into the target MR: the whole
   // point of RDMA WRITE is that the responder reads those bytes directly.
   auto& sim = dev_->simulator();
   const auto& cm = dev_->cost();
-  const MemoryRegion* mr =
-      pd_->check_remote(rkey, remote_addr, payload.size(), kAccessRemoteWrite);
+  const MemoryRegion* mr = pd_->check_remote(rkey, remote_addr,
+                                             payload.total_size(),
+                                             kAccessRemoteWrite);
   if (mr == nullptr) {
     // NAK: the requester learns, the responder application never does —
     // one of the one-sided security headaches from paper §III-C.
@@ -453,11 +538,15 @@ void QueuePair::on_write_arrival(std::uint32_t rkey, std::uint64_t remote_addr,
     return;
   }
   const sim::Time done =
-      dev_->nic_admit(sim.now(), cm.dma_time(payload.size()));
+      dev_->nic_admit(sim.now(), cm.dma_time(payload.total_size()));
   std::uint8_t* dst = mr->data_at(remote_addr);
   sim.schedule_at(done, [dst, payload = std::move(payload), sender, wr_id,
                          signaled, &sim, &cm]() mutable {
-    std::memcpy(dst, payload.data(), payload.size());
+    std::uint8_t* p = dst;
+    for (const SharedBytes& s : payload) {
+      std::memcpy(p, s.data(), s.size());
+      p += s.size();
+    }
     sim.schedule_after(cm.ack_latency, [sender, wr_id, signaled] {
       if (auto q = sender.lock()) {
         q->complete_send(wr_id, Opcode::kRdmaWrite, WcStatus::kSuccess,
@@ -524,20 +613,38 @@ void QueuePair::complete_read_response(std::uint64_t wr_id, Bytes payload) {
   if (it == pending_reads_.end()) return;
   const PendingRead pr = it->second;
   pending_reads_.erase(it);
-  const MemoryRegion* mr = pd_->check_local(pr.sge, /*need_write=*/true);
-  if (mr == nullptr || payload.size() > pr.sge.length) {
+  // Re-validate every SGE and resolve the scatter targets; the response
+  // bytes fill the elements in order.
+  std::array<std::uint8_t*, SgeList::kMaxSges> dsts{};
+  bool protection_ok = true;
+  for (std::size_t i = 0; i < pr.sg_list.size(); ++i) {
+    const MemoryRegion* mr = pd_->check_local(pr.sg_list[i], /*need_write=*/true);
+    if (mr == nullptr) {
+      protection_ok = false;
+      break;
+    }
+    dsts[i] = mr->data_at(pr.sg_list[i].addr);
+  }
+  if (!protection_ok || payload.size() > pr.sg_list.total_length()) {
     complete_send(wr_id, Opcode::kRdmaRead, WcStatus::kLocalProtectionError,
                   true);
     return;
   }
   const sim::Time done =
       dev_->nic_admit(sim.now(), cm.dma_time(payload.size()));
-  std::uint8_t* dst = mr->data_at(pr.sge.addr);
   auto self = weak_from_this();
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  sim.schedule_at(done, [self, dst, payload = std::move(payload), wr_id, len,
-                         sig = pr.signaled, &cm, &sim]() mutable {
-    std::memcpy(dst, payload.data(), payload.size());
+  sim.schedule_at(done, [self, dsts, pr, payload = std::move(payload), wr_id,
+                         len, sig = pr.signaled, &cm, &sim]() mutable {
+    const std::uint8_t* src = payload.data();
+    std::size_t remaining = payload.size();
+    for (std::size_t i = 0; i < pr.sg_list.size() && remaining > 0; ++i) {
+      const std::size_t n =
+          std::min<std::size_t>(remaining, pr.sg_list[i].length);
+      std::memcpy(dsts[i], src, n);
+      src += n;
+      remaining -= n;
+    }
     sim.schedule_after(cm.cqe_cost, [self, wr_id, len, sig] {
       if (auto q = self.lock()) {
         q->complete_send(wr_id, Opcode::kRdmaRead, WcStatus::kSuccess, sig,

@@ -96,7 +96,10 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   /// One inbound two-sided message, possibly parked waiting for a receive
   /// WR (RNR). Kept in arrival order — RC delivers strictly in order.
   struct InboundSend {
-    SharedBytes payload;
+    /// Wire payload: the slices of the sender's sg_list, in order. The
+    /// responder treats the concatenation as one message; the slice
+    /// structure only matters for what counts as a *new* physical copy.
+    FrameVec payload;
     std::weak_ptr<QueuePair> sender;
     std::uint64_t sender_wr_id = 0;
     bool sender_signaled = false;
@@ -104,17 +107,18 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
     std::uint32_t retries_left = 0;
   };
 
-  /// Local SGE of an outstanding RDMA READ, looked up when the payload
-  /// comes back. wr_ids of in-flight reads must be unique per QP.
+  /// Local SGE list of an outstanding RDMA READ, looked up when the
+  /// payload comes back (the response scatters across the elements in
+  /// order). wr_ids of in-flight reads must be unique per QP.
   struct PendingRead {
-    Sge sge;
+    SgeList sg_list;
     bool signaled = true;
   };
 
   // NIC-side handlers (scheduled by the sender's Device).
   void on_send_arrival(InboundSend in);
   void on_write_arrival(std::uint32_t rkey, std::uint64_t remote_addr,
-                        SharedBytes payload, std::weak_ptr<QueuePair> sender,
+                        FrameVec payload, std::weak_ptr<QueuePair> sender,
                         std::uint64_t wr_id, bool signaled);
   void on_read_request(std::uint64_t remote_addr, std::uint32_t rkey,
                        std::uint32_t length, std::weak_ptr<QueuePair> sender,

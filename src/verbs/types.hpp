@@ -4,7 +4,9 @@
 // in place of the paper's Mellanox MT27520 (see DESIGN.md §2).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <stdexcept>
 
 #include "common/shared_bytes.hpp"
 
@@ -25,6 +27,55 @@ struct Sge {
   std::uint32_t lkey = 0;
 };
 
+/// Fixed-capacity scatter/gather list (ibv_send_wr.sg_list + num_sge).
+/// Capacity matches FrameVec::kInlineSlices: a frame's slices map 1:1 onto
+/// SGEs, and like FrameVec nothing ever spills to the heap — post_send
+/// copies WRs by value into scheduled NIC work, so the list must stay
+/// allocation-free (the PR-2 hot-path contract). Exceeding the inline
+/// capacity throws: it would mean a layering bug, not a bigger message.
+/// Implicitly convertible from a single Sge so the overwhelmingly common
+/// one-element case reads exactly like ibverbs code with num_sge == 1.
+class SgeList {
+ public:
+  static constexpr std::size_t kMaxSges = 4;
+
+  SgeList() noexcept = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): single-SGE WRs are the norm
+  SgeList(const Sge& s) noexcept : count_(1) { sges_[0] = s; }
+
+  void push_back(const Sge& s) {
+    if (count_ == kMaxSges) {
+      throw std::length_error("SgeList: more than kMaxSges slices");
+    }
+    sges_[count_++] = s;
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  Sge& operator[](std::size_t i) noexcept { return sges_[i]; }
+  const Sge& operator[](std::size_t i) const noexcept { return sges_[i]; }
+
+  Sge* begin() noexcept { return sges_.data(); }
+  Sge* end() noexcept { return sges_.data() + count_; }
+  const Sge* begin() const noexcept { return sges_.data(); }
+  const Sge* end() const noexcept { return sges_.data() + count_; }
+
+  /// Sum of the elements' lengths. Virtual-time charges are computed from
+  /// this total with a single cost-function call, never per element —
+  /// integer truncation per slice would break bit-identity with the
+  /// flattened equivalent (the determinism pins depend on it).
+  std::uint64_t total_length() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < count_; ++i) sum += sges_[i].length;
+    return sum;
+  }
+
+ private:
+  std::array<Sge, kMaxSges> sges_{};
+  std::size_t count_ = 0;
+};
+
 /// Work-request opcodes (subset of ibv_wr_opcode we need).
 enum class Opcode : std::uint8_t {
   kSend,       // two-sided: consumes a receive WR at the responder
@@ -33,11 +84,14 @@ enum class Opcode : std::uint8_t {
   kRecv,       // appears only in completions
 };
 
-/// Send-queue work request (ibv_send_wr with a single SGE).
+/// Send-queue work request (ibv_send_wr).
 struct SendWr {
   std::uint64_t wr_id = 0;
   Opcode opcode = Opcode::kSend;
-  Sge sge;
+  /// Scatter/gather list: the NIC reads the elements in order and the
+  /// concatenation travels as one message (one WR, one completion,
+  /// one receive consumed — exactly ibverbs semantics).
+  SgeList sg_list;
   /// Generate a CQE for this WR. Selective signaling (paper §IV) posts
   /// most WRs unsignaled and signals every Nth to amortize completion
   /// handling; the send queue slot is only reclaimed at the next signaled
@@ -50,14 +104,16 @@ struct SendWr {
   /// Target for RDMA read/write.
   std::uint64_t remote_addr = 0;
   std::uint32_t rkey = 0;
-  /// Zero-copy send: when set (for kSend), the NIC transmits this
-  /// refcounted buffer instead of snapshotting the MR bytes at DMA time.
-  /// The sge still describes a valid registered region of the same length
-  /// (protection checks and all virtual-time charges are unchanged); only
-  /// the physical memcpy at the DMA point is elided. The immutability
-  /// contract of SharedBytes supplies the "don't touch the buffer until
-  /// completion" rule that hardware zero-copy already imposes.
-  SharedBytes shared_payload;
+  /// Zero-copy send: when set (for kSend/kRdmaWrite), the NIC transmits
+  /// these refcounted slices instead of snapshotting the MR bytes at DMA
+  /// time. The sg_list still describes valid registered regions of the
+  /// same total length (protection checks and all virtual-time charges
+  /// are unchanged); only the physical memcpy at the DMA point is elided.
+  /// The immutability contract of SharedBytes supplies the "don't touch
+  /// the buffer until completion" rule that hardware zero-copy already
+  /// imposes. A multi-slice frame rides as-is — the gather happens on the
+  /// wire, never in host memory.
+  FrameVec shared_payload;
 };
 
 /// Receive-queue work request.
@@ -105,6 +161,10 @@ struct QpConfig {
   std::uint32_t max_recv_wr = 128;
   /// Per-device limit also applies; see Device::max_inline().
   std::uint32_t max_inline = 256;
+  /// Largest scatter/gather list accepted per send WR (ibv_qp_cap
+  /// .max_send_sge). Posts exceeding it — or empty lists — are rejected
+  /// with kInvalidSge; nothing is silently clamped.
+  std::uint32_t max_sge = 4;
   /// RNR behaviour: how long an inbound SEND may wait for a receive WR,
   /// and how many times delivery is retried before the QP breaks.
   std::int64_t rnr_timeout_ns = 100 * 1000;  // 100 us
@@ -126,6 +186,7 @@ enum class PostResult : std::uint8_t {
   kQueueFull,      // ENOMEM: no free WQE slots
   kInvalidState,   // QP not connected / in error
   kTooLarge,       // inline payload exceeds max_inline
+  kInvalidSge,     // EINVAL: empty sg_list or more entries than max_sge
 };
 
 const char* to_string(PostResult r) noexcept;

@@ -10,6 +10,7 @@
 
 #include "common/audit.hpp"
 #include "common/worker_pool.hpp"
+#include "rubin/transport_select.hpp"
 #include "faultlab/corpus.hpp"
 #include "faultlab/lab.hpp"
 #include "workloads/bft_harness.hpp"
@@ -151,6 +152,26 @@ TEST(Determinism, EchoWorkloadsUnchangedByPoolDecoyJobs) {
   }
 }
 
+TEST(Determinism, AdaptiveSelectorReplaysBitIdentically) {
+  // The per-frame transport selector is a pure function of the cost model
+  // and the live resource state, and its picks are side-effect-free on
+  // the data path — so an adaptive-policy run must replay bit-identically,
+  // and live worker-pool traffic (the RUBIN_PARALLEL_LANES build's decoy
+  // jobs) must not move it either.
+  nio::TransportPolicy adaptive;
+  adaptive.mode = nio::TransportPolicy::Mode::kAdaptive;
+  WorkerPool pool(2);
+  for (const std::size_t payload : {1024ul, 65536ul}) {
+    const EchoParams p = small(payload);
+    expect_identical(run_adaptive_echo(p, adaptive),
+                     run_adaptive_echo(p, adaptive), "adaptive replay");
+    EchoParams decoys = p;
+    decoys.lane_pool = &pool;
+    expect_identical(run_adaptive_echo(p, adaptive),
+                     run_adaptive_echo(decoys, adaptive), "adaptive+pool");
+  }
+}
+
 TEST(Determinism, FaultScenariosReplayBitIdentically) {
   // Fault injection must not break the replay contract: the fabric's
   // fault dice, the Byzantine strategies, and the checker's verdict are
@@ -196,6 +217,43 @@ TEST(Datapath, LanePoolOffloadsAreCounted) {
   EXPECT_EQ(out.committed, 20u);
   EXPECT_GT(audit::counter_value("cop.pool.decode_jobs"), 0u);
   EXPECT_GT(audit::counter_value("cop.pool.digest_jobs"), 0u);
+}
+
+TEST(Datapath, TransportPickCountersCoverEveryLane) {
+  // Every pick fires exactly one transport.pick.* counter, so a run's
+  // transport mix is auditable after the fact. Each lane is forced by
+  // constructing the resource state where it is the argmin (or, for
+  // kReadDrain, the only available escape hatch).
+  if (!audit::enabled()) GTEST_SKIP() << "audit counters compiled out";
+  const net::CostModel cm = net::CostModel::roce_10g();
+  nio::TransportPolicy policy;
+  policy.mode = nio::TransportPolicy::Mode::kAdaptive;
+  const nio::TransportSelector sel(cm, policy);
+  audit::reset_counters();
+
+  nio::SelectorInputs in;
+  in.send_slots_free = 1;
+  in.ring_credits = 0;
+  // A sluggish receiver poller prices the polled lanes (write, read
+  // drain) out; the two-sided lanes then split at the inline crossover.
+  in.recv_poll_interval = sim::microseconds(50);
+  in.payload = 64;  // under the inline crossover
+  EXPECT_EQ(sel.pick(in), nio::TransportKind::kInline);
+  in.payload = 4096;  // past the device inline cap
+  EXPECT_EQ(sel.pick(in), nio::TransportKind::kSendRecv);
+  // A fast poller plus a ring credit: the one-sided write skips the
+  // ~5.8 us completion-event chain and wins (write_crossover() == 0).
+  in.recv_poll_interval = sim::microseconds(1);
+  in.ring_credits = 1;
+  EXPECT_EQ(sel.pick(in), nio::TransportKind::kWrite);
+  in.ring_credits = 0;
+  in.send_slots_free = 0;  // sender starved: receiver-driven pull
+  EXPECT_EQ(sel.pick(in), nio::TransportKind::kReadDrain);
+
+  EXPECT_EQ(audit::counter_value("transport.pick.inline"), 1u);
+  EXPECT_EQ(audit::counter_value("transport.pick.send_recv"), 1u);
+  EXPECT_EQ(audit::counter_value("transport.pick.write"), 1u);
+  EXPECT_EQ(audit::counter_value("transport.pick.read"), 1u);
 }
 
 TEST(Datapath, SendPathCopiesA64KiBPayloadAtMostOnce) {

@@ -3,6 +3,7 @@
 // TEST_P so each seed is an individually reported case.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <deque>
 
 #include "chain/blockchain.hpp"
@@ -12,6 +13,7 @@
 #include "crypto/sha256.hpp"
 #include "net/fabric.hpp"
 #include "reptor/messages.hpp"
+#include "rubin/transport_select.hpp"
 #include "sim/simulator.hpp"
 #include "verbs/device.hpp"
 
@@ -230,7 +232,7 @@ TEST_P(VerbsSoak, RandomTrafficKeepsInvariants) {
       wr.wr_id = static_cast<std::uint64_t>(i);
       const std::uint32_t len =
           1 + static_cast<std::uint32_t>(c.rng.next_below(kSlot));
-      wr.sge = verbs::Sge{c.mr_a->addr(), len, c.mr_a->lkey()};
+      wr.sg_list = verbs::Sge{c.mr_a->addr(), len, c.mr_a->lkey()};
       wr.signaled = c.rng.chance(0.3);
       wr.inline_data = len <= 256 && c.rng.chance(0.5);
       const auto r = co_await c.qp_a->post_send_one(wr);
@@ -299,6 +301,96 @@ TEST_P(ChainProperty, RandomOpsDeterministicAndVerifiable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChainProperty, ::testing::Values(2, 4, 6, 8));
+
+// ------------------------------------------------- transport selection ---
+
+using SelectorArgmin = Seeded;
+
+constexpr std::array<nio::TransportKind, 4> kAllKinds = {
+    nio::TransportKind::kInline, nio::TransportKind::kSendRecv,
+    nio::TransportKind::kWrite, nio::TransportKind::kReadDrain};
+
+nio::SelectorInputs random_inputs(Rng& rng) {
+  nio::SelectorInputs in;
+  in.payload = rng.next_below(128 * 1024 + 1);
+  in.send_slots_free = static_cast<std::uint32_t>(rng.next_below(5));
+  in.ring_credits = rng.next_below(5);
+  in.recv_poll_interval =
+      sim::microseconds(static_cast<double>(1 + rng.next_below(50)));
+  return in;
+}
+
+TEST_P(SelectorArgmin, AdaptivePickIsArgminOfCostModel) {
+  // The selector's whole contract: under kAdaptive, pick() is the literal
+  // argmin of cost_of() over the available() kinds, evaluated in
+  // declaration order with strict < (ties break to the smaller enum).
+  // This reference recomputes it from the same public pieces, so any
+  // shortcut or hidden constant inside pick() fails here.
+  const net::CostModel cm = net::CostModel::roce_10g();
+  nio::TransportPolicy policy;
+  policy.mode = nio::TransportPolicy::Mode::kAdaptive;
+  const nio::TransportSelector sel(cm, policy);
+
+  for (int i = 0; i < 500; ++i) {
+    const nio::SelectorInputs in = random_inputs(rng);
+    bool have = false;
+    nio::TransportKind best = nio::TransportKind::kReadDrain;
+    sim::Time best_cost = 0;
+    for (const nio::TransportKind kind : kAllKinds) {
+      if (!sel.available(kind, in)) continue;
+      const sim::Time t = sel.cost_of(kind, in);
+      if (!have || t < best_cost) {
+        have = true;
+        best = kind;
+        best_cost = t;
+      }
+    }
+    ASSERT_TRUE(have);  // kReadDrain is always available
+    EXPECT_EQ(sel.pick(in), best)
+        << "payload=" << in.payload << " slots=" << in.send_slots_free
+        << " credits=" << in.ring_credits;
+  }
+}
+
+TEST_P(SelectorArgmin, FixedPolicyPicksUnconditionally) {
+  // kFixed must reproduce pre-existing configurations bit-identically:
+  // the pick ignores sizes and resource state entirely.
+  const net::CostModel cm = net::CostModel::roce_10g();
+  for (const nio::TransportKind fixed :
+       {nio::TransportKind::kInline, nio::TransportKind::kSendRecv,
+        nio::TransportKind::kWrite}) {
+    nio::TransportPolicy policy;
+    policy.mode = nio::TransportPolicy::Mode::kFixed;
+    policy.fixed = fixed;
+    const nio::TransportSelector sel(cm, policy);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(sel.pick(random_inputs(rng)), fixed);
+    }
+  }
+}
+
+TEST_P(SelectorArgmin, InlineCrossoverSeparatesTheCostCurves) {
+  // inline_crossover() is exactly the largest payload where the inline
+  // copy undercuts (or ties) the DMA fetch of a plain send — verified
+  // pointwise against cost_of over the whole inline-capable range.
+  const net::CostModel cm = net::CostModel::roce_10g();
+  nio::TransportPolicy policy;
+  policy.mode = nio::TransportPolicy::Mode::kAdaptive;
+  const nio::TransportSelector sel(cm, policy);
+  const std::size_t cross = sel.inline_crossover();
+  EXPECT_LE(cross, cm.max_inline);
+  for (int i = 0; i < 200; ++i) {
+    nio::SelectorInputs in;
+    in.payload = rng.next_below(cm.max_inline + 1);
+    in.send_slots_free = 1;
+    const bool inline_wins = sel.cost_of(nio::TransportKind::kInline, in) <=
+                             sel.cost_of(nio::TransportKind::kSendRecv, in);
+    EXPECT_EQ(inline_wins, in.payload <= cross) << "payload=" << in.payload;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorArgmin,
+                         ::testing::Values(17, 171, 1717));
 
 }  // namespace
 }  // namespace rubin

@@ -7,6 +7,7 @@
 #include <map>
 #include <vector>
 
+#include "common/audit.hpp"
 #include "net/fabric.hpp"
 #include "rubin/context.hpp"
 #include "rubin/selector.hpp"
@@ -340,6 +341,40 @@ TEST_F(RubinTest, PoolCopyModeCopiesEveryMessage) {
   EXPECT_EQ(client->stats().inline_sends, 0u);
   EXPECT_EQ(client->stats().zero_copy_sends, 0u);
   EXPECT_EQ(server->stats().receive_copies, 5u);
+}
+
+TEST_F(RubinTest, MultiSliceFrameSkipsTheGatherCopy) {
+  // The scatter/gather accounting contract: a multi-slice frame posts as
+  // one SGE list at pool addresses, so the old staging gather — charge
+  // *and* physical memcpy — never happens. The send side must add zero
+  // bytes to datapath.copy_bytes; the receiver's copy is separate and
+  // deliberately stays (the paper's measured receive-side effect, §IV).
+  if (!audit::enabled()) GTEST_SKIP() << "audit counters compiled out";
+  ChannelConfig cfg;
+  cfg.zero_copy_send = false;
+  cfg.inline_threshold = 0;
+  auto [client, server] = make_pair(cfg);
+  FrameVec fv;
+  fv.append(SharedBytes::copy_of(patterned_bytes(8, 7)));
+  fv.append(SharedBytes::copy_of(patterned_bytes(2040, 8)));
+  fv.append(SharedBytes::copy_of(patterned_bytes(2048, 9)));
+  audit::reset_counters();
+  sim.spawn([](std::shared_ptr<RdmaChannel> c, std::shared_ptr<RdmaChannel> s,
+               FrameVec fv) -> Task<> {
+    std::size_t n = 0;
+    while (n == 0) n = co_await c->write(fv);
+    Bytes rx(64 * 1024);
+    const std::size_t got = co_await s->read_await(rx);
+    EXPECT_EQ(got, 4096u);
+    // The peer sees one contiguous message: slices concatenated in order.
+    EXPECT_TRUE(check_pattern(ByteView(rx).subspan(8, 2040), 8));
+    EXPECT_TRUE(check_pattern(ByteView(rx).subspan(2048, 2048), 9));
+  }(client, server, fv));
+  sim.run();
+  EXPECT_EQ(client->stats().gather_sends, 1u);
+  EXPECT_EQ(client->stats().pool_copy_sends, 0u);
+  EXPECT_EQ(audit::counter_value("datapath.copy_bytes"), 0u);
+  EXPECT_EQ(server->stats().receive_copies, 1u);
 }
 
 TEST_F(RubinTest, ZeroCopyReceiveSkipsTheCopy) {

@@ -299,7 +299,7 @@ TEST_F(EdgeTest, WatchdogBreaksWedgedQp) {
                verbs::MemoryRegion* mr) -> Task<> {
     verbs::SendWr wr;
     wr.wr_id = 7;
-    wr.sge = verbs::Sge{mr->addr(), 512, mr->lkey()};
+    wr.sg_list = verbs::Sge{mr->addr(), 512, mr->lkey()};
     (void)co_await qp->post_send_one(wr);
   }(qp_a, mr));
   sim.run_until(sim::milliseconds(5));

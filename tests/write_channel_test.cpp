@@ -157,7 +157,7 @@ TEST_F(OneSidedTest, StolenRkeyCorruptsTheRing) {
                verbs::MemoryRegion* mr, OneSidedChannel& victim) -> Task<> {
     verbs::SendWr wr;
     wr.opcode = verbs::Opcode::kRdmaWrite;
-    wr.sge = verbs::Sge{mr->addr(), 16 + 64, mr->lkey()};
+    wr.sg_list = verbs::Sge{mr->addr(), 16 + 64, mr->lkey()};
     wr.remote_addr = victim.ring_addr();  // slot 0
     wr.rkey = victim.ring_rkey();         // the stolen STag
     (void)co_await qp->post_send_one(wr);
@@ -198,7 +198,7 @@ TEST_F(OneSidedTest, WrongRkeyIsRejectedByTheNic) {
                OneSidedChannel& victim) -> Task<> {
     verbs::SendWr wr;
     wr.opcode = verbs::Opcode::kRdmaWrite;
-    wr.sge = verbs::Sge{mr->addr(), 80, mr->lkey()};
+    wr.sg_list = verbs::Sge{mr->addr(), 80, mr->lkey()};
     wr.remote_addr = victim.ring_addr();
     wr.rkey = 0xBAD5EED;  // guessed wrong
     (void)co_await qp->post_send_one(wr);
@@ -257,7 +257,7 @@ TEST_F(OneSidedTest, ForgedCreditIsCountedAndNeverUnblocksWrites) {
                OneSidedChannel& victim) -> Task<> {
     verbs::SendWr wr;
     wr.opcode = verbs::Opcode::kRdmaWrite;
-    wr.sge = verbs::Sge{mr->addr(), 8, mr->lkey()};
+    wr.sg_list = verbs::Sge{mr->addr(), 8, mr->lkey()};
     wr.remote_addr = victim.credit_addr();
     wr.rkey = victim.credit_rkey();
     (void)co_await qp->post_send_one(wr);
@@ -335,7 +335,7 @@ TEST_F(OneSidedTest, ReplayedSlotIsNotDeliveredTwice) {
                OneSidedChannel& victim) -> Task<> {
     verbs::SendWr wr;
     wr.opcode = verbs::Opcode::kRdmaWrite;
-    wr.sge = verbs::Sge{mr->addr(), 16 + 64, mr->lkey()};
+    wr.sg_list = verbs::Sge{mr->addr(), 16 + 64, mr->lkey()};
     wr.remote_addr = victim.ring_addr();  // slot 0 again
     wr.rkey = victim.ring_rkey();
     (void)co_await qp->post_send_one(wr);
