@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/audit.hpp"
+#include "common/frame_pool.hpp"
 
 namespace rubin {
 
@@ -13,7 +14,10 @@ SharedBytes SharedBytes::allocate(std::size_t n) {
   if (n > UINT32_MAX) {
     throw std::length_error("SharedBytes::allocate: buffer too large");
   }
-  auto* raw = static_cast<std::uint8_t*>(::operator new(sizeof(Ctrl) + n));
+  // Control block and payload share one block from the recycling pool:
+  // wire-sized buffers (headers, 1 KiB requests) churn once per message,
+  // and the pool hands the same blocks back instead of hitting malloc.
+  auto* raw = static_cast<std::uint8_t*>(frame_pool::allocate(sizeof(Ctrl) + n));
   auto* ctrl = new (raw) Ctrl{1, static_cast<std::uint32_t>(n)};
   return SharedBytes(ctrl, raw + sizeof(Ctrl), n);
 }
@@ -52,7 +56,7 @@ SharedBytes SharedBytes::slice(std::size_t offset, std::size_t len) const {
 void SharedBytes::release_live() noexcept {
   if (ref_dec(*ctrl_)) {
     ctrl_->~Ctrl();
-    ::operator delete(static_cast<void*>(ctrl_));
+    frame_pool::deallocate(static_cast<void*>(ctrl_));
   }
   ctrl_ = nullptr;
   data_ = nullptr;

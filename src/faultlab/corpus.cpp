@@ -42,6 +42,10 @@ void crash(Lab& lab, reptor::NodeId r) {
   lab.replica(r).inject_crash();
 }
 
+StrategyFactory abuse(reptor::FastPathAbuse mode) {
+  return [mode] { return reptor::make_fastpath_abuser(mode); };
+}
+
 /// Seeded fault-combination fuzz: draws `count` actions from the pool of
 /// fabric/NIC faults using a generation RNG, scatters them across the
 /// first 25ms, then heals everything. The draw happens at
@@ -359,6 +363,64 @@ std::vector<Scenario> corpus() {
                           /*clears=*/true));
     s.events.push_back(at(sim::milliseconds(20), "heal one-way blocks",
                           [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  // ------------------------------------- one-sided fast path (n = 4) --
+  // DESIGN.md §12: the primary RDMA-writes decision records into
+  // per-replica rings; these scenarios aim every abuse mode at that
+  // surface and require the message-path fallback to keep the group
+  // safe and live throughout.
+  {
+    Scenario s = base("f1-onesided-clean",
+                      "control on the one-sided substrate: fault-free "
+                      "commits ride RDMA writes plus 2f+1 ack-cell "
+                      "endorsements, no message-path commit is required", 4);
+    s.one_sided = true;
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-onesided-forge",
+                      "the primary writes well-framed garbage into every "
+                      "decision ring instead of its authentic records; "
+                      "followers reject at the MAC layer, suspend the fast "
+                      "path, and the message path commits everything", 4);
+    s.one_sided = true;
+    s.strategies[0] = abuse(reptor::FastPathAbuse::kForge);
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-onesided-torn",
+                      "the primary writes authentic records with broken "
+                      "canaries; pollers treat every slot as not-arrived "
+                      "forever and agreement falls through to the message "
+                      "path without a single fast commit", 4);
+    s.one_sided = true;
+    s.strategies[0] = abuse(reptor::FastPathAbuse::kTorn);
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-onesided-replay",
+                      "the primary keeps re-stamping its first decision "
+                      "record over the (long consumed) slot — genuine MACs, "
+                      "stale content; (seq, view) framing plus the executed "
+                      "watermark make the replay invisible", 4);
+    s.one_sided = true;
+    s.strategies[0] = abuse(reptor::FastPathAbuse::kReplay);
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-onesided-stale-rkey",
+                      "the primary proposes twice (caching the view-0 ring "
+                      "grants), goes silent to force a view change, then "
+                      "keeps writing through the revoked grants; every "
+                      "probe NAKs and view 1 commits the backlog", 4);
+    s.one_sided = true;
+    s.strategies[0] = abuse(reptor::FastPathAbuse::kStaleRkey);
     all.push_back(std::move(s));
   }
 

@@ -14,6 +14,9 @@ Lab::Lab(Scenario scenario, reptor::Backend backend)
   if (scenario_.lane_pool_threads > 0) {
     harness_->enable_lane_pool(scenario_.lane_pool_threads);
   }
+  if (scenario_.one_sided && backend_ == reptor::Backend::kRubin) {
+    harness_->enable_decision_log();
+  }
 
   std::vector<bool> correct(scenario_.n, true);
   for (const auto& [id, mk] : scenario_.strategies) correct.at(id) = false;

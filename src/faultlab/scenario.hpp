@@ -88,6 +88,12 @@ struct Scenario {
   /// execution.
   std::uint32_t lane_pool_threads = 0;
 
+  /// Run with the one-sided fast-path commit substrate (DESIGN.md §12):
+  /// the Lab wires a decision-log mesh into the harness and every replica
+  /// dual-sends/polls, with the message path as fallback. RUBIN backend
+  /// only — ignored on kNio, whose transport has no rings to flip.
+  bool one_sided = false;
+
   /// Base replica configuration (n/f/self are overwritten per replica).
   reptor::ReplicaConfig replica_cfg;
   /// Base client configuration (n/f/self are overwritten per client).

@@ -1,5 +1,7 @@
 #include "reptor/byzantine.hpp"
 
+#include "rubin/decision_log.hpp"
+
 namespace rubin::reptor {
 
 namespace {
@@ -124,7 +126,124 @@ class StaleViewSpammer final : public ByzantineStrategy {
   std::uint64_t ticks_ = 0;
 };
 
+/// A Byzantine primary's pen for the decision ring: every abuse is a raw
+/// RDMA WRITE through DecisionLog::raw_write, spawned detached on the
+/// simulator (the hook itself cannot suspend). The coroutine closes over
+/// the harness-owned log only, so it survives replica teardown.
+class FastPathAbuser final : public ByzantineStrategy {
+ public:
+  explicit FastPathAbuser(FastPathAbuse mode) : mode_(mode) {}
+
+  const char* name() const noexcept override {
+    switch (mode_) {
+      case FastPathAbuse::kForge: return "fastpath-forge";
+      case FastPathAbuse::kTorn: return "fastpath-torn";
+      case FastPathAbuse::kReplay: return "fastpath-replay";
+      case FastPathAbuse::kStaleRkey: return "fastpath-stale-rkey";
+    }
+    return "fastpath-abuser";
+  }
+
+  bool should_propose(ByzantineEnv& env) override {
+    if (mode_ != FastPathAbuse::kStaleRkey) return true;
+    // Propose a couple of batches (publishing them caches the view-0
+    // grants), then go silent: the liveness attack that gets us deposed —
+    // which is the precondition the stale-rkey probe needs.
+    (void)env;
+    return ++proposals_ <= 2;
+  }
+
+  bool on_fast_publish(ByzantineEnv& env, const PrePrepare& pp,
+                       SharedBytes& record) override {
+    nio::DecisionLog* dlog = env.cfg.decision_log;
+    if (dlog == nullptr) return true;
+    switch (mode_) {
+      case FastPathAbuse::kForge: {
+        // Well-framed garbage of the record's exact length, written with
+        // the *valid* grant: framing passes, MAC authentication must not.
+        const Bytes junk = patterned_bytes(record.size(), 0xEB11 + pp.seq);
+        write_to_all(env, *dlog,
+                     nio::DecisionLog::make_slot(pp.seq, env.view,
+                                                 env.sim.now(), ByteView(junk)),
+                     dlog->slot_offset(pp.seq));
+        return false;  // and never publish the authentic record
+      }
+      case FastPathAbuse::kTorn: {
+        // The authentic record with a broken canary: pollers must treat
+        // it as not-arrived forever and let the message path commit.
+        write_to_all(env, *dlog,
+                     nio::DecisionLog::make_slot(
+                         pp.seq, env.view, env.sim.now(),
+                         ByteView(record.data(), record.size()),
+                         /*valid_canary=*/false),
+                     dlog->slot_offset(pp.seq));
+        return false;
+      }
+      case FastPathAbuse::kReplay: {
+        // Publish honestly, but keep stamping the first record back over
+        // its (long consumed) slot — genuine MACs, stale content.
+        if (!first_.has_value()) {
+          first_ = nio::DecisionLog::make_slot(
+              pp.seq, env.view, env.sim.now(),
+              ByteView(record.data(), record.size()));
+          first_off_ = dlog->slot_offset(pp.seq);
+        } else {
+          write_to_all(env, *dlog, *first_, first_off_);
+        }
+        return true;
+      }
+      case FastPathAbuse::kStaleRkey:
+        return true;  // honest while in power; the abuse starts deposed
+    }
+    return true;
+  }
+
+  void on_tick(ByzantineEnv& env) override {
+    if (mode_ != FastPathAbuse::kStaleRkey) return;
+    nio::DecisionLog* dlog = env.cfg.decision_log;
+    if (dlog == nullptr || env.view == 0 || probes_ >= kMaxProbes) return;
+    // Deposed: the cached view-0 grant is revoked, but a Byzantine node
+    // keeps using it — each write must bounce off the flipped ring with
+    // kRemoteAccessError (visible via drain_completions).
+    ++probes_;
+    const std::uint32_t victim = (env.cfg.self + 1) % env.cfg.n;
+    env.sim.spawn([](nio::DecisionLog& l, std::uint32_t peer,
+                     std::uint64_t off, SharedBytes s) -> sim::Task<void> {
+      (void)co_await l.raw_write(peer, off, std::move(s));  // cached rkey
+      (void)l.drain_completions();
+    }(*dlog, victim,
+      dlog->slot_offset(probes_),
+      nio::DecisionLog::make_slot(probes_, 0, 0, patterned_bytes(64, 13))));
+  }
+
+ private:
+  static void write_to_all(ByzantineEnv& env, nio::DecisionLog& dlog,
+                           const SharedBytes& slot, std::uint64_t off) {
+    for (std::uint32_t p = 0; p < env.cfg.n; ++p) {
+      if (p == env.cfg.self) continue;
+      const auto grant = dlog.peer_grant(p, env.view);
+      if (!grant.has_value()) continue;
+      env.sim.spawn([](nio::DecisionLog& l, std::uint32_t peer,
+                       std::uint64_t at, SharedBytes s,
+                       std::uint32_t rkey) -> sim::Task<void> {
+        (void)co_await l.raw_write(peer, at, std::move(s), rkey);
+      }(dlog, p, off, slot, *grant));
+    }
+  }
+
+  static constexpr std::uint64_t kMaxProbes = 4;
+  FastPathAbuse mode_;
+  std::optional<SharedBytes> first_;
+  std::uint64_t first_off_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t proposals_ = 0;
+};
+
 }  // namespace
+
+std::shared_ptr<ByzantineStrategy> make_fastpath_abuser(FastPathAbuse mode) {
+  return std::make_shared<FastPathAbuser>(mode);
+}
 
 std::shared_ptr<ByzantineStrategy> make_crash() {
   return std::make_shared<CrashStrategy>();

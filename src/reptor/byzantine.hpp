@@ -52,6 +52,19 @@ class ByzantineStrategy {
     return true;
   }
 
+  /// Primary only, right before the dual-send one-sided publish of an
+  /// ordered decision record into the replicas' decision rings
+  /// (DESIGN.md §12). The record is the encoded PRE-PREPARE frame and is
+  /// sole-owned — mutating it forges the slot content (MAC check at the
+  /// reader catches it). Return false when the strategy performed its own
+  /// raw ring writes (torn slots, replays, stale-rkey probes); the
+  /// replica then skips the honest publish. Only reached when a decision
+  /// log is configured.
+  virtual bool on_fast_publish(ByzantineEnv& /*env*/, const PrePrepare& /*pp*/,
+                               SharedBytes& /*record*/) {
+    return true;
+  }
+
   /// Every replica-to-replicas broadcast, after encoding. The frame is
   /// sole-owned here, so in-place mutation (MAC corruption) is safe.
   /// Return false to suppress the send (mute replica).
@@ -96,5 +109,17 @@ std::shared_ptr<ByzantineStrategy> make_replayer();
 /// (premature) view every few ticks. A lone spammer must never move the
 /// group: joining needs f+1 and completing needs 2f+1.
 std::shared_ptr<ByzantineStrategy> make_stale_view_spammer();
+
+/// How a Byzantine primary abuses the one-sided fast path (DESIGN.md
+/// §12). Every mode must leave safety untouched: correct replicas either
+/// reject the slot at the MAC layer or never consume it, and the message
+/// path (which the primary still serves) commits every sequence.
+enum class FastPathAbuse {
+  kForge,      // well-framed garbage instead of the authentic record
+  kTorn,       // authentic record, deliberately broken canary
+  kReplay,     // keeps re-writing the first record over its old slot
+  kStaleRkey,  // once deposed, keeps writing through the revoked grant
+};
+std::shared_ptr<ByzantineStrategy> make_fastpath_abuser(FastPathAbuse mode);
 
 }  // namespace rubin::reptor

@@ -1,6 +1,7 @@
 #include "reptor/replica.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "common/audit.hpp"
@@ -8,10 +9,28 @@
 #include "common/log.hpp"
 #include "common/worker_pool.hpp"
 #include "reptor/byzantine.hpp"
+#include "rubin/decision_log.hpp"
 
 namespace rubin::reptor {
 
 namespace {
+
+/// First 64 bits of a digest — what decision-log ack cells carry. A
+/// truncation, not the certificate: commit safety rests on the full-MAC
+/// record plus quorum intersection; the tag only keys the cell match.
+std::uint64_t digest_tag(const Digest& d) {
+  std::uint64_t tag = 0;
+  std::memcpy(&tag, d.data(), sizeof(tag));
+  return tag;
+}
+
+/// Detached per-view permission flip. Deliberately a free coroutine over
+/// the log alone: it may outlive the replica that spawned it (harness
+/// teardown), but never the decision log, which the harness owns.
+sim::Task<void> rotate_decision_log(nio::DecisionLog& dlog,
+                                    std::uint64_t view) {
+  co_await dlog.enter_view(view);
+}
 
 /// Audit helper: a certificate may only contain votes from real replica
 /// ids — anything else means authentication or routing let garbage in.
@@ -83,6 +102,7 @@ Replica::Replica(sim::Simulator& sim, std::unique_ptr<Transport> transport,
       keys_(std::move(keys)),
       app_(std::move(app)),
       cfg_(cfg),
+      poller_exited_evt_(sim),
       lanes_idle_evt_(sim),
       lanes_exited_evt_(sim) {
   if (cfg_.pipelines == 0) cfg_.pipelines = 1;
@@ -115,6 +135,11 @@ sim::Task<void> Replica::run() {
   for (std::uint32_t i = 0; i < cfg_.pipelines; ++i) {
     sim_->spawn(lane_loop(i));
   }
+  if (cfg_.decision_log != nullptr) {
+    fast_expect_ = last_executed_ + 1;
+    poller_exited_ = false;
+    sim_->spawn(decision_poll_loop());
+  }
   co_await dispatcher_loop();
 
   // Shut the lanes down (empty frame == sentinel) and wait them out so
@@ -124,6 +149,156 @@ sim::Task<void> Replica::run() {
     lanes_exited_evt_.reset();
     co_await lanes_exited_evt_.wait();
   }
+  while (!poller_exited_) {
+    poller_exited_evt_.reset();
+    co_await poller_exited_evt_.wait();
+  }
+  co_return;
+}
+
+// ------------------------------------------- one-sided fast-path commit --
+//
+// DESIGN.md §12. The poller is the replica's "extra core" for the
+// one-sided path: it probes the decision ring (followers), endorses what
+// authenticates, and commits any sequence with 2f + 1 endorsements —
+// itself plus matching ack cells. It never replaces the message path,
+// which the dual-sending primary keeps feeding underneath; anything
+// unexpected suspends the fast path until the next view.
+
+sim::Task<void> Replica::decision_poll_loop() {
+  nio::DecisionLog& dlog = *cfg_.decision_log;
+  while (running_) {
+    if (!crashed() && !in_view_change_) {
+      if (fast_ok_ && !is_primary()) {
+        if (fast_expect_ <= last_executed_) {
+          // The message path overtook the poller; skip what it decided.
+          fast_expect_ = last_executed_ + 1;
+        }
+        if (in_window(fast_expect_)) co_await fast_poll_once();
+      }
+      co_await fast_commit_scan();
+    }
+    co_await sim_->sleep(dlog.config().poll_interval);
+  }
+  poller_exited_ = true;
+  poller_exited_evt_.set();
+  co_return;
+}
+
+void Replica::suspend_fast_path() {
+  if (!fast_ok_) return;
+  fast_ok_ = false;
+  RUBIN_AUDIT_COUNT("decision_log.fallback", 1);
+}
+
+sim::Task<void> Replica::fast_poll_once() {
+  nio::DecisionLog& dlog = *cfg_.decision_log;
+  nio::DecisionRecord rec;
+  const auto status = co_await dlog.poll_slot(fast_expect_, view_, rec);
+  switch (status) {
+    case nio::SlotStatus::kEmpty:
+    case nio::SlotStatus::kStale:
+    case nio::SlotStatus::kTorn:
+      // Nothing consumable (yet). Stale and torn slots are counted by the
+      // log; if they persist, the ordinary watchdog falls back for us.
+      co_return;
+    case nio::SlotStatus::kBadFrame:
+      // Framing no honest primary produces: stop trusting this ring until
+      // the view change replaces the writer.
+      suspend_fast_path();
+      co_return;
+    case nio::SlotStatus::kReady:
+      break;
+  }
+
+  // Authenticate the record: it is a PRE-PREPARE frame, so it pays the
+  // exact MAC + digest bill the message path pays. A ring is remotely
+  // writable memory (§III-C) — nothing in it is trusted before this.
+  co_await sim_->sleep(cfg_.costs.mac_time(rec.record.size()));
+  const auto env = decode_verified(rec.record.view(), keys_);
+  const PrePrepare* pp = nullptr;
+  if (env && env->sender == primary_of(view_)) {
+    pp = std::get_if<PrePrepare>(&env->msg);
+  }
+  bool ok = pp != nullptr && pp->view == view_ && pp->view == rec.view &&
+            pp->seq == rec.seq;
+  if (ok) {
+    std::size_t batch_bytes = 0;
+    for (const Request& r : pp->batch) batch_bytes += r.op.size();
+    co_await sim_->sleep(cfg_.costs.digest_time(batch_bytes));
+    ok = batch_digest(pp->batch) == pp->digest;
+  }
+  if (!ok) {
+    ++stats_.auth_failures;
+    RUBIN_AUDIT_COUNT("decision_log.reject", 1);
+    suspend_fast_path();
+    co_return;
+  }
+
+  LogEntry& entry = log_[pp->seq];
+  if (entry.pp && entry.view == view_ && entry.pp->digest != pp->digest) {
+    // The message path accepted a different proposal for this sequence in
+    // this view — an equivocating primary. Never endorse the second one.
+    RUBIN_AUDIT_COUNT("decision_log.reject", 1);
+    suspend_fast_path();
+    co_return;
+  }
+  RUBIN_AUDIT_COUNT("decision_log.accept", 1);
+  entry.fast_pp = *pp;
+  entry.fast_acked = true;
+  if (!entry.pp) entry.view = view_;
+  for (const Request& r : pp->batch) awaiting_.insert({r.client, r.id});
+  arm_vc_timer();
+  co_await dlog.ack(pp->seq, digest_tag(pp->digest));
+  ++fast_expect_;
+  co_await maybe_fast_commit(pp->seq);
+  co_return;
+}
+
+sim::Task<void> Replica::fast_commit_scan() {
+  // Collect first: committing executes, and execution may erase entries.
+  std::vector<std::uint64_t> candidates;
+  for (auto it = log_.upper_bound(last_executed_); it != log_.end(); ++it) {
+    if (it->second.fast_acked && !it->second.committed &&
+        !it->second.executed) {
+      candidates.push_back(it->first);
+    }
+  }
+  for (const std::uint64_t seq : candidates) {
+    if (log_.contains(seq)) co_await maybe_fast_commit(seq);
+  }
+  co_return;
+}
+
+sim::Task<void> Replica::maybe_fast_commit(std::uint64_t seq) {
+  const auto it = log_.find(seq);
+  if (it == log_.end()) co_return;
+  LogEntry& entry = it->second;
+  if (!entry.fast_acked || !entry.fast_pp || entry.committed ||
+      entry.executed) {
+    co_return;
+  }
+  // Commit rule: 2f + 1 distinct endorsers — this replica plus every peer
+  // whose ack cell matches (seq, tag). Any two such quorums intersect in
+  // at least one honest replica, and an honest replica endorses at most
+  // one digest per (view, seq) and carries it into view changes — the
+  // same intersection argument as the message path's commit certificate.
+  const std::uint64_t tag = digest_tag(entry.fast_pp->digest);
+  if (1 + cfg_.decision_log->acks_for(seq, tag) < 2 * cfg_.f + 1) co_return;
+  if (entry.pp && entry.pp->digest != entry.fast_pp->digest) {
+    RUBIN_AUDIT_COUNT("decision_log.reject", 1);
+    suspend_fast_path();
+    co_return;
+  }
+  if (!entry.pp) {
+    entry.pp = entry.fast_pp;
+    entry.view = view_;
+  }
+  entry.committed = true;
+  ++stats_.batches_committed;
+  ++stats_.fast_commits;
+  RUBIN_AUDIT_COUNT("decision_log.fast_commit", 1);
+  co_await execute_ready();
   co_return;
 }
 
@@ -339,6 +514,7 @@ sim::Task<void> Replica::propose_batch() {
     LogEntry& entry = log_[pp.seq];
     entry.view = view_;
     entry.pp = pp;
+    if (propose_observer_) propose_observer_(pp.seq, pp);
 
     bool broadcast_honestly = true;
     if (strategy_ != nullptr) {
@@ -349,6 +525,33 @@ sim::Task<void> Replica::propose_batch() {
     }
     if (broadcast_honestly) send_to_replicas(Message{pp});
     arm_vc_timer();
+
+    // Dual-send: the same authenticated frame also goes out one-sided
+    // into every replica's decision ring. The message path above is not
+    // conditioned on this — if the ring write is bypassed or NAKed, the
+    // ordinary three-phase protocol still commits the batch.
+    if (cfg_.decision_log != nullptr && fast_ok_) {
+      SharedBytes record =
+          encode_for_replicas(Envelope{cfg_.self, Message{pp}}, keys_, cfg_.n);
+      // An oversized batch simply doesn't ride the ring — the message
+      // path above already carries it (same rule as a missing grant).
+      if (record.size() > cfg_.decision_log->config().slot_payload) continue;
+      bool fast_honestly = true;
+      if (strategy_ != nullptr) {
+        ByzantineEnv env{*sim_, *transport_, keys_, cfg_, view_};
+        fast_honestly = strategy_->on_fast_publish(env, pp, record);
+      }
+      if (fast_honestly) {
+        (void)co_await cfg_.decision_log->publish(pp.seq, view_, sim_->now(),
+                                                  record);
+        // The primary endorses its own proposal the same way followers
+        // do — an explicit ack cell — so the commit rule stays uniform.
+        co_await cfg_.decision_log->ack(pp.seq, digest_tag(pp.digest));
+        LogEntry& e2 = log_[pp.seq];  // map refs survive, but be explicit
+        e2.fast_pp = pp;
+        e2.fast_acked = true;
+      }
+    }
   }
   batch_deadline_ = pending_.empty() ? -1 : sim_->now() + cfg_.batch_timeout;
   co_return;
@@ -451,6 +654,12 @@ void Replica::try_commit(std::uint64_t seq) {
 }
 
 sim::Task<void> Replica::execute_ready() {
+  // Both the message path and the fast-path poller call this; the poller
+  // can fire while a message-path execution is parked on a sleep. The
+  // latch makes the second caller a no-op — the in-flight loop will pick
+  // up whatever became ready.
+  if (executing_) co_return;
+  executing_ = true;
   bool progressed = false;
   for (;;) {
     const auto it = log_.find(last_executed_ + 1);
@@ -503,6 +712,7 @@ sim::Task<void> Replica::execute_ready() {
     disarm_vc_timer();
     if (outstanding_work()) arm_vc_timer();
   }
+  executing_ = false;
   co_return;
 }
 
@@ -571,9 +781,17 @@ void Replica::start_view_change(std::uint64_t target) {
   vc.new_view = target;
   vc.stable_seq = stable_;
   for (const auto& [seq, entry] : log_) {
-    if (entry.prepared && entry.pp && seq > stable_) {
+    if (seq <= stable_) continue;
+    if (entry.prepared && entry.pp) {
       vc.prepared.push_back(
           PreparedProof{entry.view, seq, entry.pp->digest, entry.pp->batch});
+    } else if (entry.fast_acked && entry.fast_pp) {
+      // A fast-path endorsement is a prepared-equivalent promise: this
+      // replica's ack cell may already sit in a commit quorum, so the
+      // proposal must survive into the new view (quorum intersection).
+      vc.prepared.push_back(PreparedProof{entry.fast_pp->view, seq,
+                                          entry.fast_pp->digest,
+                                          entry.fast_pp->batch});
     }
   }
   vc_msgs_[target][cfg_.self] = vc;
@@ -726,6 +944,16 @@ void Replica::enter_view(std::uint64_t v) {
   // per view entry) and idempotent (vote sets dedup by sender).
   if (last_checkpoint_ && last_checkpoint_->seq > stable_) {
     send_to_replicas(Message{*last_checkpoint_});
+  }
+  // Rotate the decision ring's write permission: revoke the old view's
+  // grant and (asynchronously — it is a real MR re-registration) issue
+  // the new view's. Re-arm the fast path for the new primary. The flip
+  // runs as a free coroutine over the harness-owned log so it survives
+  // replica teardown mid-registration.
+  if (cfg_.decision_log != nullptr) {
+    fast_ok_ = true;
+    fast_expect_ = last_executed_ + 1;
+    sim_->spawn(rotate_decision_log(*cfg_.decision_log, v));
   }
 }
 

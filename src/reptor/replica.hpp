@@ -45,6 +45,10 @@ namespace rubin {
 class WorkerPool;
 }  // namespace rubin
 
+namespace rubin::nio {
+class DecisionLog;
+}  // namespace rubin::nio
+
 namespace rubin::reptor {
 
 class ByzantineStrategy;
@@ -91,6 +95,14 @@ struct ReplicaConfig {
   /// 0-thread pool (or a build without RUBIN_PARALLEL_LANES) jobs run
   /// inline on the submitting thread.
   WorkerPool* worker_pool = nullptr;
+  /// One-sided fast-path commit (DESIGN.md §12): when set, the primary
+  /// RDMA-writes each proposal into every replica's decision-log ring
+  /// *in addition to* the ordinary PRE-PREPARE broadcast (dual-send), and
+  /// a per-replica poller commits on 2f+1 one-sided endorsements — often
+  /// a full message delay before the three-phase path. Null (the default)
+  /// reproduces every pre-existing configuration bit-identically. Not
+  /// owned; must outlive the replica's coroutines.
+  nio::DecisionLog* decision_log = nullptr;
   ProtocolCosts costs;
   FaultMode fault = FaultMode::kHonest;
   /// Takes precedence over `fault` when set; FaultLab scenarios install
@@ -101,6 +113,9 @@ struct ReplicaConfig {
 struct ReplicaStats {
   std::uint64_t requests_executed = 0;
   std::uint64_t batches_committed = 0;
+  /// Batches committed by the one-sided fast path (subset of
+  /// batches_committed) — the bench's proof the accelerator actually ran.
+  std::uint64_t fast_commits = 0;
   std::uint64_t view_changes = 0;
   std::uint64_t checkpoints_stable = 0;
   std::uint64_t state_transfers = 0;
@@ -143,6 +158,16 @@ class Replica {
     commit_observer_ = std::move(obs);
   }
 
+  /// Observer invoked when the primary assigns a sequence number to a
+  /// batch (fires before any broadcast or decision-log write). Paired
+  /// with the commit observer it yields per-sequence propose-to-commit
+  /// latency — the message-delay metric of bench_bft_e2e.
+  using ProposeObserver =
+      std::function<void(std::uint64_t seq, const PrePrepare& pp)>;
+  void set_propose_observer(ProposeObserver obs) {
+    propose_observer_ = std::move(obs);
+  }
+
   // ------------------------------------------------------ introspection --
   std::uint64_t view() const noexcept { return view_; }
   bool is_primary() const noexcept { return primary_of(view_) == cfg_.self; }
@@ -164,6 +189,16 @@ class Replica {
     bool prepared = false;
     bool committed = false;
     bool executed = false;
+    /// One-sided fast path (DESIGN.md §12). The record this replica
+    /// authenticated from its decision-log ring and endorsed (acked) —
+    /// deliberately separate from `pp` so the message path runs
+    /// completely undisturbed underneath; the two are reconciled only at
+    /// fast commit, where a digest conflict suspends the fast path
+    /// instead of committing. A fast-acked entry is carried in
+    /// VIEW-CHANGE proofs exactly like a prepared one: the 2f+1-endorser
+    /// commit rule needs every endorsement to survive into the next view.
+    std::optional<PrePrepare> fast_pp;
+    bool fast_acked = false;
   };
 
   struct ClientRecord {
@@ -205,6 +240,13 @@ class Replica {
   void handle_view_change(const Envelope& env, SharedBytes frame);
   sim::Task<void> handle_new_view(const Envelope& env);
 
+  // One-sided fast path (runs only when cfg_.decision_log is set).
+  sim::Task<void> decision_poll_loop();
+  sim::Task<void> fast_poll_once();
+  sim::Task<void> fast_commit_scan();
+  sim::Task<void> maybe_fast_commit(std::uint64_t seq);
+  void suspend_fast_path();
+
   // Protocol actions.
   sim::Task<void> propose_batch();
   void try_prepare(std::uint64_t seq);
@@ -237,6 +279,20 @@ class Replica {
   bool running_ = true;
   std::shared_ptr<ByzantineStrategy> strategy_;  // null == honest
   CommitObserver commit_observer_;
+  ProposeObserver propose_observer_;
+
+  // One-sided fast path.
+  /// Next ring slot the poller will probe (followers; resynced forward
+  /// whenever the message path overtakes it).
+  std::uint64_t fast_expect_ = 1;
+  /// Cleared when a slot fails validation: the fast path stays suspended
+  /// — pure message path — until the next view change re-arms it.
+  bool fast_ok_ = true;
+  /// Re-entrancy latch for execute_ready, which is reachable from both
+  /// the dispatcher and the decision poller.
+  bool executing_ = false;
+  bool poller_exited_ = true;
+  sim::Event poller_exited_evt_;
 
   // Protocol state.
   std::uint64_t view_ = 0;

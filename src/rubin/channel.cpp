@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -334,17 +335,46 @@ sim::Task<bool> RdmaChannel::stage_frame(const FrameVec& frame,
   co_return true;
 }
 
+// The single-message writes inline the batch prologue/epilogue instead
+// of wrapping the message in a one-element vector: they are the
+// closed-loop hot path, and the wrapper vector was pure churn. The
+// charge sequence is identical to write_batch with one message.
 sim::Task<std::size_t> RdmaChannel::write(ByteView msg) {
-  std::vector<ByteView> one{msg};
-  const std::size_t n = co_await write_batch(std::move(one));
-  co_return n == 1 ? msg.size() : 0;
+  co_return co_await write_one(msg, nullptr);
 }
 
 sim::Task<std::size_t> RdmaChannel::write(SharedBytes msg) {
-  const std::size_t len = msg.size();
-  std::vector<SharedBytes> one{std::move(msg)};
-  const std::size_t n = co_await write_batch(std::move(one));
-  co_return n == 1 ? len : 0;
+  co_return co_await write_one(msg.view(), &msg);
+}
+
+sim::Task<std::size_t> RdmaChannel::write_one(ByteView msg,
+                                              const SharedBytes* handle) {
+  co_await ack_events();
+  pump();
+  RUBIN_AUDIT_ASSERT("channel",
+                     outstanding_.size() == posted_wrs_ - reclaimed_wrs_,
+                     "posted/reclaimed WR accounting diverged from the "
+                     "outstanding queue");
+  if (state_ != State::kEstablished) {
+    co_await ctx_->simulator().sleep(ctx_->cost().post_call_cpu);
+    co_return 0;
+  }
+
+  StagingLease lease(*this);
+  std::vector<verbs::SendWr>& wrs = lease.wrs();
+  if (!co_await stage_message(msg, handle, wrs) || wrs.empty()) {
+    co_await ctx_->simulator().sleep(ctx_->cost().post_call_cpu);
+    co_return 0;
+  }
+
+  ++stats_.doorbells;
+  const verbs::PostResult r =
+      co_await qp_->post_send(std::span<verbs::SendWr>(wrs));
+  if (r != verbs::PostResult::kOk) {
+    fail(verbs::WcStatus::kWorkRequestFlushed);
+    co_return 0;
+  }
+  co_return msg.size();
 }
 
 sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<ByteView> msgs) {
@@ -361,7 +391,8 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<ByteView> msgs) {
     co_return 0;
   }
 
-  std::vector<verbs::SendWr> wrs;
+  StagingLease lease(*this);
+  std::vector<verbs::SendWr>& wrs = lease.wrs();
   wrs.reserve(msgs.size());
   std::size_t accepted = 0;
   for (const ByteView msg : msgs) {
@@ -374,7 +405,8 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<ByteView> msgs) {
   }
 
   ++stats_.doorbells;
-  const verbs::PostResult r = co_await qp_->post_send(std::move(wrs));
+  const verbs::PostResult r =
+      co_await qp_->post_send(std::span<verbs::SendWr>(wrs));
   if (r != verbs::PostResult::kOk) {
     // Capacity was checked per message; a failure here means the QP died.
     // The staged WRs were never posted and will never complete.
@@ -396,7 +428,8 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<SharedBytes> msgs) {
     co_return 0;
   }
 
-  std::vector<verbs::SendWr> wrs;
+  StagingLease lease(*this);
+  std::vector<verbs::SendWr>& wrs = lease.wrs();
   wrs.reserve(msgs.size());
   std::size_t accepted = 0;
   for (const SharedBytes& msg : msgs) {
@@ -409,7 +442,8 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<SharedBytes> msgs) {
   }
 
   ++stats_.doorbells;
-  const verbs::PostResult r = co_await qp_->post_send(std::move(wrs));
+  const verbs::PostResult r =
+      co_await qp_->post_send(std::span<verbs::SendWr>(wrs));
   if (r != verbs::PostResult::kOk) {
     fail(verbs::WcStatus::kWorkRequestFlushed);
     co_return 0;
@@ -437,7 +471,8 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<FrameVec> msgs) {
     co_return 0;
   }
 
-  std::vector<verbs::SendWr> wrs;
+  StagingLease lease(*this);
+  std::vector<verbs::SendWr>& wrs = lease.wrs();
   wrs.reserve(msgs.size());
   std::size_t accepted = 0;
   for (const FrameVec& msg : msgs) {
@@ -450,7 +485,8 @@ sim::Task<std::size_t> RdmaChannel::write_batch(std::vector<FrameVec> msgs) {
   }
 
   ++stats_.doorbells;
-  const verbs::PostResult r = co_await qp_->post_send(std::move(wrs));
+  const verbs::PostResult r =
+      co_await qp_->post_send(std::span<verbs::SendWr>(wrs));
   if (r != verbs::PostResult::kOk) {
     fail(verbs::WcStatus::kWorkRequestFlushed);
     co_return 0;

@@ -206,6 +206,40 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   /// copy when configured and recycles the receive buffer.
   sim::Task<void> finish_read(const FilledRecv& msg);
 
+  /// Single-message write body (the hot path of both write() overloads):
+  /// identical charge sequence to write_batch with one message, minus
+  /// the wrapper vector.
+  sim::Task<std::size_t> write_one(ByteView msg, const SharedBytes* handle);
+
+  /// Hands a write path the channel's reusable WR staging vector, or a
+  /// throwaway local one when another write on this channel is already
+  /// mid-flight (write calls suspend, so overlap is possible in
+  /// principle even though every current caller serializes). The member
+  /// vector keeps its capacity across calls, so the steady-state write
+  /// path stages WRs with no per-call vector allocation.
+  struct StagingLease {
+    explicit StagingLease(RdmaChannel& ch)
+        : ch_(ch), owned_(!ch.staging_busy_) {
+      if (owned_) {
+        ch.staging_busy_ = true;
+        ch.staging_.clear();
+      }
+    }
+    ~StagingLease() {
+      if (owned_) ch_.staging_busy_ = false;
+    }
+    StagingLease(const StagingLease&) = delete;
+    StagingLease& operator=(const StagingLease&) = delete;
+    std::vector<verbs::SendWr>& wrs() noexcept {
+      return owned_ ? ch_.staging_ : local_;
+    }
+
+   private:
+    RdmaChannel& ch_;
+    bool owned_;
+    std::vector<verbs::SendWr> local_;
+  };
+
   RubinContext* ctx_;
   std::uint64_t id_;
   ChannelConfig cfg_;
@@ -236,6 +270,10 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
 
   /// Cached MRs for zero-copy sends, keyed by buffer base address.
   std::map<const std::uint8_t*, verbs::MemoryRegion*> send_mr_cache_;
+
+  /// Reusable WR staging for the write paths (see StagingLease).
+  std::vector<verbs::SendWr> staging_;
+  bool staging_busy_ = false;
 
   /// Selector hookup (null when unregistered).
   std::function<void()> selector_notify_;

@@ -11,6 +11,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/frame_pool.hpp"
+
 namespace rubin::sim {
 
 template <typename T = void>
@@ -38,6 +40,16 @@ struct PromiseBase {
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
   void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+  // Coroutine frames are the DES hot loop's dominant allocation (every
+  // co_awaited Task body is one malloc/free pair per call); route them
+  // through the recycling pool. Promise-scoped, so it covers every
+  // Task<T> coroutine in the codebase and nothing else.
+  static void* operator new(std::size_t n) { return frame_pool::allocate(n); }
+  static void operator delete(void* p) noexcept { frame_pool::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    frame_pool::deallocate(p);
+  }
 };
 
 }  // namespace detail

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/audit.hpp"
+#include "common/frame_pool.hpp"
 
 namespace rubin::sim {
 
@@ -45,9 +46,25 @@ class UniqueFunction {
       ops_ = &kInlineOps<D>;
       RUBIN_AUDIT_COUNT("sim.uf.inline", 1);
     } else {
-      using Holder = std::unique_ptr<D>;
-      ::new (static_cast<void*>(buf_))
-          Holder(std::make_unique<D>(std::forward<F>(f)));
+      // Spills recycle through the frame pool alongside coroutine frames:
+      // an oversized schedule-site closure is just as hot as the frame
+      // that posted it. Over-aligned callables (none today) keep the
+      // plain make_unique path, whose delete matches their alignment.
+      using Holder = HolderFor<D>;
+      if constexpr (kPoolable<D>) {
+        void* mem = frame_pool::allocate(sizeof(D));
+        D* obj = nullptr;
+        try {
+          obj = ::new (mem) D(std::forward<F>(f));
+        } catch (...) {
+          frame_pool::deallocate(mem);
+          throw;
+        }
+        ::new (static_cast<void*>(buf_)) Holder(obj);
+      } else {
+        ::new (static_cast<void*>(buf_))
+            Holder(std::make_unique<D>(std::forward<F>(f)));
+      }
       ops_ = &kHeapOps<D>;
       RUBIN_AUDIT_COUNT("sim.uf.heap", 1);
     }
@@ -116,6 +133,24 @@ class UniqueFunction {
       sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
       std::is_nothrow_move_constructible_v<F>;
 
+  /// Frame-pool blocks carry default new alignment; anything stricter
+  /// falls back to the global heap.
+  template <typename F>
+  static constexpr bool kPoolable = alignof(F) <= alignof(std::max_align_t);
+
+  template <typename F>
+  struct PoolDeleter {
+    void operator()(F* f) const noexcept {
+      f->~F();
+      frame_pool::deallocate(f);
+    }
+  };
+
+  template <typename F>
+  using HolderFor = std::conditional_t<kPoolable<F>,
+                                       std::unique_ptr<F, PoolDeleter<F>>,
+                                       std::unique_ptr<F>>;
+
   /// Destroys *f when the enclosing scope exits (guards call_destroy
   /// against throwing callables without a try/catch).
   template <typename F>
@@ -142,19 +177,19 @@ class UniqueFunction {
 
   template <typename F>
   static constexpr Ops kHeapOps = {
-      [](void* self) { (**static_cast<std::unique_ptr<F>*>(self))(); },
+      [](void* self) { (**static_cast<HolderFor<F>*>(self))(); },
       [](void* self) {
-        auto* holder = static_cast<std::unique_ptr<F>*>(self);
-        DestroyGuard<std::unique_ptr<F>> guard{holder};
+        auto* holder = static_cast<HolderFor<F>*>(self);
+        DestroyGuard<HolderFor<F>> guard{holder};
         (**holder)();
       },
       [](void* dst, void* src) noexcept {
-        auto* from = static_cast<std::unique_ptr<F>*>(src);
-        ::new (dst) std::unique_ptr<F>(std::move(*from));
-        from->~unique_ptr();
+        auto* from = static_cast<HolderFor<F>*>(src);
+        ::new (dst) HolderFor<F>(std::move(*from));
+        std::destroy_at(from);
       },
       [](void* self) noexcept {
-        static_cast<std::unique_ptr<F>*>(self)->~unique_ptr();
+        std::destroy_at(static_cast<HolderFor<F>*>(self));
       },
       true,
   };

@@ -88,6 +88,15 @@ sim::Time Device::nic_admit(sim::Time ready, sim::Time work) {
   return nic_free_;
 }
 
+sim::Task<std::uint32_t> Device::flip_write_permission(ProtectionDomain& pd,
+                                                       MemoryRegion* mr,
+                                                       bool grant_remote_write) {
+  const std::uint32_t fresh = pd.rekey_remote(
+      mr, grant_remote_write ? kAccessRemoteWrite : 0u);
+  co_await simulator().sleep(cost().mr_register_time(mr->length()));
+  co_return fresh;
+}
+
 std::size_t Device::inject_qp_errors() {
   std::size_t faulted = 0;
   for (auto& [qpn, weak] : qps_) {
@@ -127,6 +136,10 @@ net::HostId QueuePair::remote_host() const noexcept {
 }
 
 sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
+  co_return co_await post_send(std::span<SendWr>(wrs));
+}
+
+sim::Task<PostResult> QueuePair::post_send(std::span<SendWr> wrs) {
   auto& sim = dev_->simulator();
   const auto& cm = dev_->cost();
   co_await sim.sleep(cm.post_call_cpu);
@@ -339,25 +352,33 @@ sim::Task<PostResult> QueuePair::post_send(std::vector<SendWr> wrs) {
 }
 
 sim::Task<PostResult> QueuePair::post_send_one(SendWr wr) {
-  std::vector<SendWr> v;
-  v.push_back(std::move(wr));
-  co_return co_await post_send(std::move(v));
+  // The WR parameter lives in this coroutine's frame, which the awaiting
+  // caller keeps alive until the post completes — exactly the span
+  // contract, with no wrapper vector.
+  co_return co_await post_send(std::span<SendWr>(&wr, 1));
 }
 
 sim::Task<PostResult> QueuePair::post_recv_one(RecvWr wr) {
-  std::vector<RecvWr> v{wr};
-  co_return co_await post_recv(std::move(v));
+  co_return co_await post_recv(std::span<const RecvWr>(&wr, 1));
 }
 
 sim::Task<PostResult> QueuePair::post_recv(std::vector<RecvWr> wrs) {
+  co_return co_await post_recv(std::span<const RecvWr>(wrs));
+}
+
+sim::Task<PostResult> QueuePair::post_recv(std::span<const RecvWr> wrs) {
   auto& sim = dev_->simulator();
   const auto& cm = dev_->cost();
   co_await sim.sleep(cm.post_call_cpu +
                      static_cast<sim::Time>(wrs.size()) * cm.wqe_build_cpu);
-  co_return post_recv_now(std::move(wrs));
+  co_return post_recv_now(wrs);
 }
 
 PostResult QueuePair::post_recv_now(std::vector<RecvWr> wrs) {
+  return post_recv_now(std::span<const RecvWr>(wrs));
+}
+
+PostResult QueuePair::post_recv_now(std::span<const RecvWr> wrs) {
   if (state_ == QpState::kError) return PostResult::kInvalidState;
   if (recv_queue_.size() + wrs.size() > cfg_.max_recv_wr) {
     return PostResult::kQueueFull;

@@ -29,6 +29,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -58,13 +59,27 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   /// the posting optimization from paper §IV). Awaitable: the caller's
   /// virtual CPU spends the post + WQE-build (+ inline copy) time.
   /// On kQueueFull/kInvalidState/kTooLarge nothing is posted.
+  ///
+  /// The span names caller-owned staging that must stay alive (and
+  /// untouched) until the returned task completes; every caller co_awaits
+  /// the post to completion, so a reused staging vector qualifies — which
+  /// is the point: the NIC slices it needs are copied into scheduled work
+  /// (payload handles are *moved* out of the WRs), so the hot path posts
+  /// with zero per-call vector churn.
+  sim::Task<PostResult> post_send(std::span<SendWr> wrs);
+
+  /// Owning-vector convenience for spawn-style callers whose staging
+  /// cannot outlive the call site.
   sim::Task<PostResult> post_send(std::vector<SendWr> wrs);
 
   /// Single-WR convenience.
   sim::Task<PostResult> post_send_one(SendWr wr);
 
   /// Posts receive WRs. Receives are pre-posted in bulk (buffer pool), so
-  /// the per-call CPU is charged like post_send.
+  /// the per-call CPU is charged like post_send. Same span contract as
+  /// post_send: the caller-owned storage must stay alive until the
+  /// returned task completes (the WRs are read after the CPU charge).
+  sim::Task<PostResult> post_recv(std::span<const RecvWr> wrs);
   sim::Task<PostResult> post_recv(std::vector<RecvWr> wrs);
 
   /// Single-WR convenience.
@@ -73,6 +88,7 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   /// Setup-path variant: posts receives synchronously without charging
   /// CPU time. For pre-posting buffer pools at connection establishment,
   /// where the cost sits off the measured data path.
+  PostResult post_recv_now(std::span<const RecvWr> wrs);
   PostResult post_recv_now(std::vector<RecvWr> wrs);
 
   /// Moves the QP to the error state, flushing posted receives and
@@ -183,6 +199,19 @@ class Device {
   /// Serializes work on this host's NIC engine: returns the completion
   /// time of a job needing `work` ns that becomes ready at `ready`.
   sim::Time nic_admit(sim::Time ready, sim::Time work);
+
+  /// Per-view write-permission flip (Aguilera et al.): retires `mr`'s
+  /// current rkey and issues a fresh one that carries kAccessRemoteWrite
+  /// only when `grant_remote_write` is set. The revocation half is
+  /// instantaneous — the old key is dead before this coroutine first
+  /// suspends, so there is no window in which both keys work — but the
+  /// *grant* is returned only after the NIC re-programming charge
+  /// (pinning + TLB update, the same bill as registering the region)
+  /// has elapsed. This asymmetry is the protocol-level contract: a view
+  /// change revokes before the new view grants.
+  sim::Task<std::uint32_t> flip_write_permission(ProtectionDomain& pd,
+                                                 MemoryRegion* mr,
+                                                 bool grant_remote_write);
 
   /// FaultLab: transitions every live QP on this device to the error
   /// state (flushed completions and all — as if the NIC firmware reset).

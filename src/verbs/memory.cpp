@@ -23,6 +23,16 @@ void ProtectionDomain::deregister(MemoryRegion* mr) {
   by_lkey_.erase(mr->lkey_);  // frees the MR
 }
 
+std::uint32_t ProtectionDomain::rekey_remote(MemoryRegion* mr,
+                                             std::uint32_t remote_access) {
+  by_rkey_.erase(mr->rkey_);  // revoke before grant: the old key dies first
+  mr->rkey_ = next_key_++;
+  mr->access_ = (mr->access_ & kAccessLocalWrite) |
+                (remote_access & (kAccessRemoteRead | kAccessRemoteWrite));
+  by_rkey_[mr->rkey_] = mr;
+  return mr->rkey_;
+}
+
 const MemoryRegion* ProtectionDomain::check_local(const Sge& sge,
                                                   bool need_write) const {
   const auto it = by_lkey_.find(sge.lkey);

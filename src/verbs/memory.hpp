@@ -68,6 +68,17 @@ class ProtectionDomain {
   /// STag-invalidation scenario from the paper's security analysis.
   void deregister(MemoryRegion* mr);
 
+  /// Permission flip (Aguilera et al., "The Impact of RDMA on Agreement"):
+  /// atomically retires the MR's current rkey and issues a fresh one whose
+  /// remote rights are exactly `remote_access` (local rights and the lkey
+  /// are untouched). Revocation is immediate — a peer still holding the
+  /// old rkey gets kRemoteAccessError from the very next access — and only
+  /// the returned key grants. Returns the new rkey. This is pure key
+  /// bookkeeping; the NIC re-programming time is charged by
+  /// Device::flip_write_permission, which callers on the data path must
+  /// use instead.
+  std::uint32_t rekey_remote(MemoryRegion* mr, std::uint32_t remote_access);
+
   /// Local-key lookup with bounds/permission validation; nullptr on any
   /// mismatch. `need_write` = the NIC would write into the region.
   const MemoryRegion* check_local(const Sge& sge, bool need_write) const;

@@ -6,7 +6,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "common/shared_bytes.hpp"
 
@@ -29,51 +31,101 @@ struct Sge {
 
 /// Fixed-capacity scatter/gather list (ibv_send_wr.sg_list + num_sge).
 /// Capacity matches FrameVec::kInlineSlices: a frame's slices map 1:1 onto
-/// SGEs, and like FrameVec nothing ever spills to the heap — post_send
-/// copies WRs by value into scheduled NIC work, so the list must stay
-/// allocation-free (the PR-2 hot-path contract). Exceeding the inline
-/// capacity throws: it would mean a layering bug, not a bigger message.
-/// Implicitly convertible from a single Sge so the overwhelmingly common
-/// one-element case reads exactly like ibverbs code with num_sge == 1.
+/// SGEs. Storage is a small-buffer optimization: the overwhelmingly common
+/// one- and two-element shapes ({frame}, {header, payload}) live inline
+/// and stay allocation-free — post_send copies WRs by value into scheduled
+/// NIC work, so the hot-path copy must not touch the heap (the PR-2
+/// contract, now scoped to lists of <= kInlineSges). Three- and
+/// four-element lists (multi-slice one-sided frames — the cold path) spill
+/// every element to a heap block, so iteration stays a contiguous pointer
+/// range; copying a spilled list allocates. Exceeding kMaxSges throws: it
+/// would mean a layering bug, not a bigger message. Implicitly convertible
+/// from a single Sge so the common case reads exactly like ibverbs code
+/// with num_sge == 1.
 class SgeList {
  public:
   static constexpr std::size_t kMaxSges = 4;
+  static constexpr std::size_t kInlineSges = 2;
 
   SgeList() noexcept = default;
   // NOLINTNEXTLINE(google-explicit-constructor): single-SGE WRs are the norm
-  SgeList(const Sge& s) noexcept : count_(1) { sges_[0] = s; }
+  SgeList(const Sge& s) noexcept : count_(1) { inline_[0] = s; }
+
+  SgeList(const SgeList& other) : count_(other.count_) {
+    if (other.spill_ != nullptr) {
+      spill_ = std::make_unique<Sge[]>(kMaxSges);
+      for (std::size_t i = 0; i < count_; ++i) spill_[i] = other.spill_[i];
+    } else {
+      inline_ = other.inline_;
+    }
+  }
+  SgeList& operator=(const SgeList& other) {
+    SgeList tmp(other);
+    swap(tmp);
+    return *this;
+  }
+  SgeList(SgeList&& other) noexcept
+      : inline_(other.inline_),
+        spill_(std::move(other.spill_)),
+        count_(other.count_) {
+    other.count_ = 0;
+  }
+  SgeList& operator=(SgeList&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~SgeList() = default;
+
+  void swap(SgeList& other) noexcept {
+    std::swap(inline_, other.inline_);
+    std::swap(spill_, other.spill_);
+    std::swap(count_, other.count_);
+  }
 
   void push_back(const Sge& s) {
     if (count_ == kMaxSges) {
       throw std::length_error("SgeList: more than kMaxSges slices");
     }
-    sges_[count_++] = s;
+    if (count_ == kInlineSges && spill_ == nullptr) {
+      spill_ = std::make_unique<Sge[]>(kMaxSges);
+      for (std::size_t i = 0; i < kInlineSges; ++i) spill_[i] = inline_[i];
+    }
+    data()[count_++] = s;
   }
 
   std::size_t size() const noexcept { return count_; }
   bool empty() const noexcept { return count_ == 0; }
 
-  Sge& operator[](std::size_t i) noexcept { return sges_[i]; }
-  const Sge& operator[](std::size_t i) const noexcept { return sges_[i]; }
+  Sge& operator[](std::size_t i) noexcept { return data()[i]; }
+  const Sge& operator[](std::size_t i) const noexcept { return data()[i]; }
 
-  Sge* begin() noexcept { return sges_.data(); }
-  Sge* end() noexcept { return sges_.data() + count_; }
-  const Sge* begin() const noexcept { return sges_.data(); }
-  const Sge* end() const noexcept { return sges_.data() + count_; }
+  Sge* begin() noexcept { return data(); }
+  Sge* end() noexcept { return data() + count_; }
+  const Sge* begin() const noexcept { return data(); }
+  const Sge* end() const noexcept { return data() + count_; }
 
   /// Sum of the elements' lengths. Virtual-time charges are computed from
   /// this total with a single cost-function call, never per element —
   /// integer truncation per slice would break bit-identity with the
   /// flattened equivalent (the determinism pins depend on it).
   std::uint64_t total_length() const noexcept {
+    const Sge* p = data();
     std::uint64_t sum = 0;
-    for (std::size_t i = 0; i < count_; ++i) sum += sges_[i].length;
+    for (std::size_t i = 0; i < count_; ++i) sum += p[i].length;
     return sum;
   }
 
  private:
-  std::array<Sge, kMaxSges> sges_{};
-  std::size_t count_ = 0;
+  Sge* data() noexcept {
+    return spill_ != nullptr ? spill_.get() : inline_.data();
+  }
+  const Sge* data() const noexcept {
+    return spill_ != nullptr ? spill_.get() : inline_.data();
+  }
+
+  std::array<Sge, kInlineSges> inline_{};
+  std::unique_ptr<Sge[]> spill_;
+  std::uint32_t count_ = 0;
 };
 
 /// Work-request opcodes (subset of ibv_wr_opcode we need).

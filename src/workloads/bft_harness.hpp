@@ -14,6 +14,7 @@
 #include "reptor/transport_nio.hpp"
 #include "reptor/transport_rubin.hpp"
 #include "rubin/context.hpp"
+#include "rubin/decision_log.hpp"
 #include "tcpsim/tcp.hpp"
 #include "verbs/cm.hpp"
 
@@ -84,11 +85,39 @@ class BftHarness {
   verbs::Device& device(net::HostId host) { return *devices_.at(host); }
   bool has_devices() const noexcept { return !devices_.empty(); }
 
+  /// Per-deployment channel tuning for the RUBIN backend (ignored by
+  /// kNio). Applies to every transport built afterwards — replicas *and*
+  /// clients, so a deployment-level flag like zero_copy_receive covers
+  /// the whole group, not just the replica mesh.
+  void set_channel_config(nio::ChannelConfig ccfg) { channel_cfg_ = ccfg; }
+  void set_zero_copy_receive(bool on) { channel_cfg_.zero_copy_receive = on; }
+  const nio::ChannelConfig& channel_config() const noexcept {
+    return channel_cfg_;
+  }
+
+  /// One-sided fast-path commit (DESIGN.md §12), RUBIN backend only:
+  /// builds the decision-log mesh over the replica contexts. Call before
+  /// add_replica*; replicas added afterwards dual-send through it while
+  /// the message path keeps running underneath.
+  void enable_decision_log(nio::DecisionLogConfig dcfg = {}) {
+    RUBIN_AUDIT_ASSERT("harness", backend_ == Backend::kRubin,
+                       "decision log needs the RUBIN backend");
+    RUBIN_AUDIT_ASSERT("harness", replicas_.empty(),
+                       "enable_decision_log must precede add_replica");
+    std::vector<nio::RubinContext*> ctxs;
+    for (std::uint32_t r = 0; r < n_; ++r) ctxs.push_back(contexts_[r].get());
+    dlogs_ = nio::DecisionLog::create_group(ctxs, dcfg);
+  }
+  nio::DecisionLog* decision_log(NodeId id) {
+    return dlogs_.empty() ? nullptr : dlogs_.at(id).get();
+  }
+
   std::unique_ptr<Transport> make_transport(NodeId id) {
     if (backend_ == Backend::kNio) {
       return std::make_unique<NioTransport>(*tcp_, layout_, id);
     }
-    return std::make_unique<RubinTransport>(*contexts_[id], layout_, id);
+    return std::make_unique<RubinTransport>(*contexts_[id], layout_, id,
+                                            channel_cfg_);
   }
 
   /// RUBIN-backend replica with a custom channel configuration (partition
@@ -101,6 +130,9 @@ class BftHarness {
     cfg.f = (n_ - 1) / 3;
     cfg.self = id;
     if (cfg.worker_pool == nullptr) cfg.worker_pool = lane_pool_.get();
+    if (cfg.decision_log == nullptr && id < dlogs_.size()) {
+      cfg.decision_log = dlogs_[id].get();
+    }
     if (!app) app = std::make_unique<CounterApp>();
     auto transport =
         std::make_unique<RubinTransport>(*contexts_[id], layout_, id, ccfg);
@@ -122,6 +154,9 @@ class BftHarness {
     cfg.f = (n_ - 1) / 3;
     cfg.self = id;
     if (cfg.worker_pool == nullptr) cfg.worker_pool = lane_pool_.get();
+    if (cfg.decision_log == nullptr && id < dlogs_.size()) {
+      cfg.decision_log = dlogs_[id].get();
+    }
     if (!app) app = std::make_unique<CounterApp>();
     replicas_.push_back(std::make_unique<Replica>(
         sim_, make_transport(id), keys(id), std::move(app), cfg));
@@ -173,6 +208,10 @@ class BftHarness {
   std::unique_ptr<verbs::ConnectionManager> cm_;
   std::vector<std::unique_ptr<verbs::Device>> devices_;
   std::vector<std::unique_ptr<nio::RubinContext>> contexts_;
+  nio::ChannelConfig channel_cfg_;
+  /// Declared before replicas_: replicas hold raw pointers into the mesh
+  /// and must be destroyed first.
+  std::vector<std::unique_ptr<nio::DecisionLog>> dlogs_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Client>> clients_;
 };

@@ -273,6 +273,25 @@ TEST(SimulatorAudit, EventRoutingCountersTrackFastPaths) {
   EXPECT_EQ(audit::counter_value("sim.uf.heap"), 0u);
 }
 
+#if !defined(RUBIN_FRAME_POOL_OFF)
+TEST(SimulatorAudit, FramePoolRecyclesCoroutineFrames) {
+  // Identically-shaped coroutine frames must come back from the recycling
+  // pool after the first: the DES hot loop's dominant allocation is the
+  // Task frame, and the pool turns steady-state churn into pointer moves.
+  // (Compiled out under ASan, where pooling would mask use-after-free.)
+  audit::reset_counters();
+  sim::Simulator sim;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn([](sim::Simulator& s) -> sim::Task<> {
+      co_await s.sleep(1);
+    }(sim));
+    sim.run();
+  }
+  EXPECT_GE(audit::counter_value("sim.frame_pool.fresh"), 1u);
+  EXPECT_GE(audit::counter_value("sim.frame_pool.reuse"), 7u);
+}
+#endif
+
 // ------------------------------------------------------------ fatal path -
 
 using AuditDeathTest = ::testing::Test;

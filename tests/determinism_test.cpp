@@ -59,11 +59,12 @@ struct BftOutcome {
 /// attaches a WorkerPool of that many threads, so 0 exercises the
 /// submit/join code path with inline execution.
 BftOutcome run_small_bft(reptor::Backend backend, int pool_threads = -1,
-                         std::uint32_t pipelines = 1) {
+                         std::uint32_t pipelines = 1, bool onesided = false) {
   reptor::BftHarness h(backend, 4, 2);
   if (pool_threads >= 0) {
     h.enable_lane_pool(static_cast<std::uint32_t>(pool_threads));
   }
+  if (onesided) h.enable_decision_log();
   reptor::ReplicaConfig cfg;
   cfg.batch_size = 4;
   cfg.batch_timeout = sim::microseconds(100);
@@ -108,6 +109,19 @@ TEST(Determinism, BftEndToEndReplaysBitIdentically) {
     EXPECT_EQ(a.committed, 20u);
     EXPECT_TRUE(a == b) << "backend " << static_cast<int>(backend);
   }
+}
+
+TEST(Determinism, OneSidedFastPathReplaysBitIdentically) {
+  // The decision-ring commit path (DESIGN.md §12) joins the replay
+  // contract: ring writes, poll loops, ack cells, and permission flips
+  // are all virtual-time citizens, so two fast-path runs must agree to
+  // the bit — and a pool-attached run must reproduce the serial one.
+  const BftOutcome a = run_small_bft(reptor::Backend::kRubin, -1, 1, true);
+  const BftOutcome b = run_small_bft(reptor::Backend::kRubin, -1, 1, true);
+  EXPECT_EQ(a.committed, 20u);
+  EXPECT_TRUE(a == b) << "one-sided replay diverged";
+  const BftOutcome pooled = run_small_bft(reptor::Backend::kRubin, 2, 1, true);
+  EXPECT_TRUE(a == pooled) << "one-sided + worker pool diverged";
 }
 
 TEST(Determinism, WorkerPoolLanesReplayBitIdentically) {
@@ -179,9 +193,12 @@ TEST(Determinism, FaultScenariosReplayBitIdentically) {
   // fault path consulted wall-clock state or an unseeded RNG.
   // The asym/fuzz scenarios run with lane_pool_threads = 2, so their rows
   // also prove a live worker pool replays under fault injection.
+  // The one-sided rows prove the fast-path abuse machinery (raw ring
+  // writes, revoked-grant NAKs) replays too.
   for (const char* name :
        {"f1-lossy-fabric", "f1-byz-equivocating-primary",
-        "f1-asym-deaf-group", "f1-fuzz-combo"}) {
+        "f1-asym-deaf-group", "f1-fuzz-combo", "f1-onesided-forge",
+        "f1-onesided-stale-rkey"}) {
     auto s1 = faultlab::find_scenario(name);
     auto s2 = faultlab::find_scenario(name);
     ASSERT_TRUE(s1.has_value() && s2.has_value());

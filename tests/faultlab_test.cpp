@@ -187,6 +187,52 @@ TEST(Lab, FuzzComboDrawIsDeterministicAndPasses) {
   EXPECT_EQ(r.completions, r.expected_completions);
 }
 
+TEST(Lab, OneSidedAbuseScenariosHoldSafetyAndLiveness) {
+  // The full fast-path-abuse family (DESIGN.md §12): forged, torn, and
+  // replayed ring writes plus the clean control. Every scenario must
+  // commit all requests with zero divergence — the message path is the
+  // unconditional fallback whatever the primary does to the rings.
+  for (const char* name :
+       {"f1-onesided-clean", "f1-onesided-forge", "f1-onesided-torn",
+        "f1-onesided-replay"}) {
+    auto s = find_scenario(name);
+    ASSERT_TRUE(s.has_value()) << name;
+    EXPECT_TRUE(s->one_sided) << name;
+    Lab lab(std::move(*s));
+    const Report r = lab.run();
+    EXPECT_TRUE(r.passed()) << name << ": " << r.verdict.detail;
+    EXPECT_EQ(r.completions, r.expected_completions) << name;
+    EXPECT_TRUE(r.verdict.no_forgery) << name;
+  }
+}
+
+TEST(Lab, StaleRkeyProberIsDeposedAndPowerless) {
+  // The permission-flip scenario: the primary's cached view-0 grants are
+  // revoked by the view change, so its post-deposition ring writes can
+  // only NAK. The group must rotate and commit the whole load.
+  auto s = find_scenario("f1-onesided-stale-rkey");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_EQ(r.completions, r.expected_completions);
+  EXPECT_GE(r.final_view, 1u);  // the silent writer was voted out
+  // The deposed primary's stale-grant probes all bounced.
+  EXPECT_GE(lab.harness().decision_log(0)->stats().write_naks, 1u);
+}
+
+TEST(Lab, OneSidedFlagIsIgnoredOnNioBackend) {
+  // one_sided is a RUBIN-transport concept; a kNio Lab must run the same
+  // scenario untouched rather than assert on a missing ring substrate.
+  auto s = find_scenario("f1-onesided-clean");
+  ASSERT_TRUE(s.has_value());
+  s->requests = 10;  // keep the TCP backend quick
+  Lab lab(std::move(*s), reptor::Backend::kNio);
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_EQ(r.completions, r.expected_completions);
+}
+
 // ------------------------------------------- fault counters via stats --
 
 TEST(Lab, FabricFaultCountersFlowThroughStats) {

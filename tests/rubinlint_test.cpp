@@ -101,6 +101,24 @@ TEST(Lexer, AllowsCoverOwnAndNextLine) {
             (std::vector<std::string>{"house-naked-new", "det-random"}));
 }
 
+TEST(Lexer, DigitSeparatorsStayInsideTheNumber) {
+  // 0xACC'0000: the ' is a digit separator, not a char-literal opener.
+  // Mis-lexing it swallowed everything up to the next apostrophe, hiding
+  // whole stretches of a file from every downstream rule.
+  const auto f = lex("src/x.cpp",
+                     "const int wr_id = 0xACC'0000 + seq;\n"
+                     "RUBIN_AUDIT_COUNT(\"x.y\", 1);\n"
+                     "char c = 'z';\n");
+  EXPECT_TRUE(has_ident(f, "RUBIN_AUDIT_COUNT"));
+  bool saw_number = false, saw_char = false;
+  for (const auto& t : f.tokens) {
+    saw_number = saw_number || (t.kind == Tok::kNumber && t.text == "0xACC'0000");
+    saw_char = saw_char || (t.kind == Tok::kChar && t.text == "z");
+  }
+  EXPECT_TRUE(saw_number);
+  EXPECT_TRUE(saw_char);
+}
+
 TEST(Lexer, PpIncludePathsLexAsStrings) {
   const auto f = lex("src/x.cpp",
                      "#include <unordered_map>\n"

@@ -238,8 +238,8 @@ TEST_F(EdgeTest, EmptyPostBatchesAreNoOps) {
   verbs::PostResult rr{};
   sim.spawn([](std::shared_ptr<verbs::QueuePair> qp, verbs::PostResult& sr,
                verbs::PostResult& rr) -> Task<> {
-    sr = co_await qp->post_send({});
-    rr = co_await qp->post_recv({});
+    sr = co_await qp->post_send(std::vector<verbs::SendWr>{});
+    rr = co_await qp->post_recv(std::vector<verbs::RecvWr>{});
   }(qp, sr, rr));
   sim.run();
   EXPECT_EQ(sr, verbs::PostResult::kOk);

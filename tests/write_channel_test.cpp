@@ -9,6 +9,7 @@
 #include "common/audit.hpp"
 #include "net/fabric.hpp"
 #include "reptor/messages.hpp"
+#include "rubin/decision_log.hpp"
 #include "rubin/write_channel.hpp"
 #include "sim/simulator.hpp"
 #include "verbs/cm.hpp"
@@ -376,6 +377,393 @@ TEST_F(OneSidedTest, ExposedFootprintGrowsPerPeer) {
   // A 10-replica group (paper §I: blockchain-scale) would pin ~9x that
   // per node just for inbound rings:
   EXPECT_GT(9 * per_peer, 36u * 1024 * 1024);  // tens of MB at 128KB slots
+}
+
+// ===========================================================================
+// DecisionLog — the one-sided fast-path commit substrate (DESIGN.md §12).
+// These are the adversarial tests the fallback contract rests on: every
+// way a Byzantine primary can abuse a remotely writable decision ring —
+// forged slots, torn writes, replays, misplaced writes, revoked-rkey
+// probes — must be classified exactly as SlotStatus promises.
+
+class DecisionLogTest : public ::testing::Test {
+ public:
+  static constexpr std::uint32_t kN = 4;  // n = 3f + 1, f = 1
+
+  ~DecisionLogTest() override { sim.terminate_processes(); }
+
+  KeyTable keys(std::uint32_t id) const {
+    // One extra id (kN) plays the client inside test batches.
+    return KeyTable(id, kN + 1, to_bytes("bft-group-secret"));
+  }
+
+  /// An authentic decision record: the encoded PRE-PREPARE frame node
+  /// `signer` would dual-send for (view, seq).
+  SharedBytes signed_record(std::uint32_t signer, std::uint64_t view,
+                            std::uint64_t seq, reptor::PrePrepare* out = nullptr) {
+    reptor::Request rq;
+    rq.client = kN;
+    rq.id = seq;
+    rq.op = patterned_bytes(48, seq);
+    reptor::PrePrepare pp;
+    pp.view = view;
+    pp.seq = seq;
+    pp.batch.push_back(std::move(rq));
+    pp.digest = reptor::batch_digest(pp.batch);
+    if (out != nullptr) *out = pp;
+    return reptor::encode_for_replicas(
+        reptor::Envelope{signer, reptor::Message{pp}}, keys(signer), kN);
+  }
+
+  static std::uint64_t tag_of(const Digest& d) {
+    std::uint64_t tag = 0;
+    std::memcpy(&tag, d.data(), sizeof(tag));
+    return tag;
+  }
+
+  sim::Simulator sim;
+  net::Fabric fabric{sim, net::CostModel::roce_10g(), kN};
+  verbs::Device dev0{fabric, 0};
+  verbs::Device dev1{fabric, 1};
+  verbs::Device dev2{fabric, 2};
+  verbs::Device dev3{fabric, 3};
+  verbs::ConnectionManager cm{fabric};
+  RubinContext c0{dev0, cm};
+  RubinContext c1{dev1, cm};
+  RubinContext c2{dev2, cm};
+  RubinContext c3{dev3, cm};
+  std::vector<RubinContext*> ctxs{&c0, &c1, &c2, &c3};
+};
+
+TEST_F(DecisionLogTest, PublishPollAckQuorumFlow) {
+  // The fault-free fast path end to end: the primary writes one record
+  // into every follower ring, each follower authenticates it and
+  // endorses by ack cell, and the resulting endorsement count clears the
+  // 2f + 1 commit rule.
+  auto logs = DecisionLog::create_group(ctxs);
+  audit::reset_counters();
+
+  reptor::PrePrepare pp;
+  SharedBytes rec = signed_record(0, 0, 1, &pp);
+  std::uint32_t written = 0;
+  sim.spawn([](DecisionLog& l, SharedBytes rec, std::uint32_t& w) -> Task<> {
+    w = co_await l.publish(1, 0, 0, std::move(rec));
+  }(*logs[0], rec, written));
+  sim.run();
+  EXPECT_EQ(written, 3u);
+  EXPECT_EQ(logs[0]->stats().records_published, 3u);
+  if (audit::enabled()) {
+    EXPECT_EQ(audit::counter_value("transport.onesided.write"), 3u);
+  }
+
+  int authenticated = 0;
+  const std::uint64_t tag = tag_of(pp.digest);
+  for (std::uint32_t r = 1; r < kN; ++r) {
+    sim.spawn([](DecisionLogTest& t, DecisionLog& l, std::uint32_t self,
+                 std::uint64_t tag, int& ok) -> Task<> {
+      DecisionRecord out;
+      if (co_await l.poll_slot(1, 0, out) != SlotStatus::kReady) co_return;
+      const auto env = reptor::decode_verified(out.record.view(), t.keys(self));
+      if (!env || env->sender != 0) co_return;
+      ++ok;
+      co_await l.ack(1, tag);
+    }(*this, *logs[r], r, tag, authenticated));
+  }
+  sim.run();
+  EXPECT_EQ(authenticated, 3);
+  // 3 remote endorsements + the primary's own = 4 >= 2f + 1 = 3.
+  EXPECT_EQ(logs[0]->acks_for(1, tag), 3u);
+  // Placement + content authentication: a different tag matches nothing.
+  EXPECT_EQ(logs[0]->acks_for(1, ~tag), 0u);
+}
+
+TEST_F(DecisionLogTest, ForgedSlotPassesFramingButFailsMacAuthentication) {
+  // A well-formed frame around garbage: the transport *cannot* reject it
+  // (framing is valid), and must not — the MAC layer is the authority. A
+  // replica that polls it gets kReady and then decode_verified says no.
+  auto logs = DecisionLog::create_group(ctxs);
+
+  const Bytes garbage = patterned_bytes(128, 99);
+  SharedBytes slot = DecisionLog::make_slot(1, 0, 0, garbage);
+  sim.spawn([](DecisionLog& evil, std::uint64_t off, SharedBytes slot,
+               std::uint32_t rkey) -> Task<> {
+    (void)co_await evil.raw_write(1, off, std::move(slot), rkey);
+  }(*logs[3], logs[1]->slot_offset(1), slot, logs[1]->ring_rkey()));
+  sim.run();
+
+  SlotStatus st = SlotStatus::kEmpty;
+  DecisionRecord out;
+  sim.spawn([](DecisionLog& l, SlotStatus& st, DecisionRecord& out) -> Task<> {
+    st = co_await l.poll_slot(1, 0, out);
+  }(*logs[1], st, out));
+  sim.run();
+  ASSERT_EQ(st, SlotStatus::kReady);
+  EXPECT_FALSE(reptor::decode_verified(out.record.view(), keys(1)).has_value());
+}
+
+TEST_F(DecisionLogTest, TornWriteIsTreatedAsNotArrived) {
+  // Header landed, canary did not: the record is in flight (or torn on
+  // purpose). It must be *invisible* — neither consumed half-written nor
+  // fatal — and a complete rewrite of the same slot must then deliver.
+  auto logs = DecisionLog::create_group(ctxs);
+  audit::reset_counters();
+
+  SharedBytes rec = signed_record(0, 0, 1);
+  SharedBytes torn = DecisionLog::make_slot(
+      1, 0, 0, ByteView(rec.data(), rec.size()), /*valid_canary=*/false);
+  sim.spawn([](DecisionLog& l, std::uint64_t off, SharedBytes s,
+               std::uint32_t rkey) -> Task<> {
+    (void)co_await l.raw_write(1, off, std::move(s), rkey);
+  }(*logs[0], logs[1]->slot_offset(1), torn, logs[1]->ring_rkey()));
+  sim.run();
+
+  SlotStatus st = SlotStatus::kEmpty;
+  DecisionRecord out;
+  sim.spawn([](DecisionLog& l, SlotStatus& st, DecisionRecord& out) -> Task<> {
+    st = co_await l.poll_slot(1, 0, out);
+  }(*logs[1], st, out));
+  sim.run();
+  EXPECT_EQ(st, SlotStatus::kTorn);
+  EXPECT_EQ(logs[1]->stats().torn_slots, 1u);
+  if (audit::enabled()) {
+    EXPECT_GE(audit::counter_value("decision_log.torn"), 1u);
+  }
+
+  // The complete write repairs the slot.
+  SharedBytes whole = DecisionLog::make_slot(1, 0, 0,
+                                             ByteView(rec.data(), rec.size()));
+  sim.spawn([](DecisionLog& l, std::uint64_t off, SharedBytes s,
+               std::uint32_t rkey) -> Task<> {
+    (void)co_await l.raw_write(1, off, std::move(s), rkey);
+  }(*logs[0], logs[1]->slot_offset(1), whole, logs[1]->ring_rkey()));
+  sim.run();
+  sim.spawn([](DecisionLog& l, SlotStatus& st, DecisionRecord& out) -> Task<> {
+    st = co_await l.poll_slot(1, 0, out);
+  }(*logs[1], st, out));
+  sim.run();
+  EXPECT_EQ(st, SlotStatus::kReady);
+}
+
+TEST_F(DecisionLogTest, ReplayedSlotFromOldViewIsStale) {
+  // A record replayed from before a view change carries the old view in
+  // its header — and the canary binds (seq, view), so rewriting just the
+  // header would tear the canary instead. Either way it never surfaces.
+  auto logs = DecisionLog::create_group(ctxs);
+  audit::reset_counters();
+
+  SharedBytes rec = signed_record(0, 0, 5);
+  SharedBytes replay = DecisionLog::make_slot(5, 0, 0,
+                                              ByteView(rec.data(), rec.size()));
+  sim.spawn([](DecisionLog& l, std::uint64_t off, SharedBytes s,
+               std::uint32_t rkey) -> Task<> {
+    (void)co_await l.raw_write(1, off, std::move(s), rkey);
+  }(*logs[0], logs[1]->slot_offset(5), replay, logs[1]->ring_rkey()));
+  sim.run();
+
+  // The group has since moved to view 1; replica 1 polls as of view 1.
+  SlotStatus st = SlotStatus::kEmpty;
+  DecisionRecord out;
+  sim.spawn([](DecisionLog& l, SlotStatus& st, DecisionRecord& out) -> Task<> {
+    st = co_await l.poll_slot(5, 1, out);
+  }(*logs[1], st, out));
+  sim.run();
+  EXPECT_EQ(st, SlotStatus::kStale);
+  EXPECT_EQ(logs[1]->stats().stale_slots, 1u);
+  if (audit::enabled()) {
+    EXPECT_GE(audit::counter_value("decision_log.stale"), 1u);
+  }
+}
+
+TEST_F(DecisionLogTest, MisplacedSlotIsBadFrame) {
+  // An out-of-window / misplaced write: slot index of seq 5 holding a
+  // record claiming seq 3. No honest primary produces it (3 and 5 do not
+  // share a slot), so the poller must flag it — this is what suspends
+  // the replica's fast path rather than being silently skipped.
+  auto logs = DecisionLog::create_group(ctxs);
+
+  SharedBytes rec = signed_record(0, 0, 3);
+  SharedBytes misplaced = DecisionLog::make_slot(
+      3, 0, 0, ByteView(rec.data(), rec.size()));
+  sim.spawn([](DecisionLog& l, std::uint64_t off, SharedBytes s,
+               std::uint32_t rkey) -> Task<> {
+    (void)co_await l.raw_write(1, off, std::move(s), rkey);
+  }(*logs[0], logs[1]->slot_offset(5), misplaced, logs[1]->ring_rkey()));
+  sim.run();
+
+  SlotStatus st = SlotStatus::kEmpty;
+  DecisionRecord out;
+  sim.spawn([](DecisionLog& l, SlotStatus& st, DecisionRecord& out) -> Task<> {
+    st = co_await l.poll_slot(5, 0, out);
+  }(*logs[1], st, out));
+  sim.run();
+  EXPECT_EQ(st, SlotStatus::kBadFrame);
+
+  // The benign cousin: the untouched leftover of the previous ring lap
+  // (same slot, holding exactly seq - slot_count) reads as empty, not as
+  // an attack. Overwrite the slot with a legitimate seq-5 record first.
+  SharedBytes rec5 = signed_record(0, 0, 5);
+  SharedBytes legit = DecisionLog::make_slot(
+      5, 0, 0, ByteView(rec5.data(), rec5.size()));
+  sim.spawn([](DecisionLog& l, std::uint64_t off, SharedBytes s,
+               std::uint32_t rkey) -> Task<> {
+    (void)co_await l.raw_write(1, off, std::move(s), rkey);
+  }(*logs[0], logs[1]->slot_offset(5), legit, logs[1]->ring_rkey()));
+  sim.run();
+  SlotStatus wrapped = SlotStatus::kBadFrame;
+  sim.spawn([](DecisionLog& l, SlotStatus& st, DecisionRecord& out) -> Task<> {
+    st = co_await l.poll_slot(5 + l.config().slot_count, 0, out);
+  }(*logs[1], wrapped, out));
+  sim.run();
+  EXPECT_EQ(wrapped, SlotStatus::kEmpty);
+}
+
+TEST_F(DecisionLogTest, ViewFlipRevokesBeforeGranting) {
+  // "Revoke before grant" as an observable schedule: while any replica's
+  // flip for the new view is in flight, a publish for that view bypasses
+  // the one-sided path entirely (grant_for is nullopt) — the message
+  // path carries those sequences. Once every flip completes, the new
+  // view's writes flow.
+  auto logs = DecisionLog::create_group(ctxs);
+  audit::reset_counters();
+
+  for (std::uint32_t r = 0; r < kN; ++r) {
+    sim.spawn([](DecisionLog& l) -> Task<> { co_await l.enter_view(1); }(*logs[r]));
+  }
+  // New primary (node 1) publishes for view 1 at t = 0 — mid-flip.
+  SharedBytes rec = signed_record(1, 1, 1);
+  std::uint32_t mid_flip = 99;
+  sim.spawn([](DecisionLog& l, SharedBytes rec, std::uint32_t& w) -> Task<> {
+    w = co_await l.publish(1, 1, 0, std::move(rec));
+  }(*logs[1], rec, mid_flip));
+  sim.run();
+  EXPECT_EQ(mid_flip, 0u);
+  EXPECT_GE(logs[1]->stats().bypasses, 3u);
+  if (audit::enabled()) {
+    EXPECT_GE(audit::counter_value("transport.onesided.bypass"), 3u);
+    EXPECT_EQ(audit::counter_value("decision_log.permission_flip"),
+              static_cast<std::uint64_t>(kN));
+  }
+
+  // Flips have completed (sim.run drained them): the same publish lands.
+  for (std::uint32_t r = 0; r < kN; ++r) {
+    EXPECT_EQ(logs[r]->granted_view(), 1u);
+    EXPECT_EQ(logs[r]->stats().permission_flips, 1u);
+  }
+  SharedBytes rec2 = signed_record(1, 1, 1);
+  std::uint32_t after = 0;
+  sim.spawn([](DecisionLog& l, SharedBytes rec, std::uint32_t& w) -> Task<> {
+    w = co_await l.publish(1, 1, 0, std::move(rec));
+  }(*logs[1], rec2, after));
+  sim.run();
+  EXPECT_EQ(after, 3u);
+}
+
+TEST_F(DecisionLogTest, DeposedPrimaryWriteNaksOnRevokedRkey) {
+  // The Aguilera et al. mechanism this subsystem exists for: after the
+  // flip, the deposed primary's cached rkey is dead. Its next write
+  // completes with kRemoteAccessError, the record never lands, and its
+  // QP to the victim breaks — permissions, not message counting, bound
+  // the damage.
+  auto logs = DecisionLog::create_group(ctxs);
+
+  // View 0: primary 0 publishes seq 1 legitimately (caching the grants).
+  SharedBytes rec = signed_record(0, 0, 1);
+  std::uint32_t w0 = 0;
+  sim.spawn([](DecisionLog& l, SharedBytes rec, std::uint32_t& w) -> Task<> {
+    w = co_await l.publish(1, 0, 0, std::move(rec));
+  }(*logs[0], rec, w0));
+  sim.run();
+  ASSERT_EQ(w0, 3u);
+  const std::uint32_t stale_rkey = logs[0]->cached_grant(1);
+
+  // Replica 1 flips to view 1; the old rkey is revoked.
+  sim.spawn([](DecisionLog& l) -> Task<> { co_await l.enter_view(1); }(*logs[1]));
+  sim.run();
+  ASSERT_EQ(logs[1]->granted_view(), 1u);
+  ASSERT_NE(logs[1]->ring_rkey(), stale_rkey);
+
+  // The deposed primary keeps writing through the cached grant.
+  audit::reset_counters();
+  SharedBytes forged = DecisionLog::make_slot(2, 0, 0,
+                                              ByteView(rec.data(), rec.size()));
+  sim.spawn([](DecisionLog& l, std::uint64_t off, SharedBytes s) -> Task<> {
+    (void)co_await l.raw_write(1, off, std::move(s));  // default: cached rkey
+  }(*logs[0], logs[1]->slot_offset(2), forged));
+  sim.run();
+
+  // The NIC NAKed it: a kRemoteAccessError completion on the sender...
+  EXPECT_GE(logs[0]->drain_completions(), 1u);
+  EXPECT_GE(logs[0]->stats().write_naks, 1u);
+  if (audit::enabled()) {
+    EXPECT_GE(audit::counter_value("decision_log.write_nak"), 1u);
+  }
+  // ...and nothing landed in the victim's ring.
+  SlotStatus st = SlotStatus::kReady;
+  DecisionRecord out;
+  sim.spawn([](DecisionLog& l, SlotStatus& st, DecisionRecord& out) -> Task<> {
+    st = co_await l.poll_slot(2, 1, out);
+  }(*logs[1], st, out));
+  sim.run();
+  EXPECT_EQ(st, SlotStatus::kEmpty);
+}
+
+TEST_F(DecisionLogTest, AckCreditsGateSlotReuse) {
+  // Ack cells double as flow control: slot s is reused for seq only
+  // after the target acked seq - slot_count in that same cell. A primary
+  // that outruns its followers bypasses (message path carries the seq)
+  // instead of overwriting unconsumed records.
+  DecisionLogConfig cfg;
+  cfg.slot_count = 4;
+  auto logs = DecisionLog::create_group(ctxs, cfg);
+
+  // Fill the first lap: seqs 1..4 always have credit.
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    SharedBytes rec = signed_record(0, 0, seq);
+    std::uint32_t w = 0;
+    sim.spawn([](DecisionLog& l, std::uint64_t seq, SharedBytes rec,
+                 std::uint32_t& w) -> Task<> {
+      w = co_await l.publish(seq, 0, 0, std::move(rec));
+    }(*logs[0], seq, rec, w));
+    sim.run();
+    ASSERT_EQ(w, 3u) << "seq " << seq;
+  }
+
+  // Seq 5 reuses slot 1, whose occupant (seq 1) nobody acked: refused.
+  SharedBytes rec5 = signed_record(0, 0, 5);
+  std::uint32_t w5 = 99;
+  sim.spawn([](DecisionLog& l, SharedBytes rec, std::uint32_t& w) -> Task<> {
+    w = co_await l.publish(5, 0, 0, std::move(rec));
+  }(*logs[0], rec5, w5));
+  sim.run();
+  EXPECT_EQ(w5, 0u);
+  EXPECT_GE(logs[0]->stats().bypasses, 3u);
+
+  // Followers ack seq 1 (tag content is irrelevant to flow control).
+  for (std::uint32_t r = 1; r < kN; ++r) {
+    sim.spawn([](DecisionLog& l) -> Task<> { co_await l.ack(1, 0x7a61); }(*logs[r]));
+  }
+  sim.run();
+
+  // Credit restored: seq 5 now writes everywhere.
+  SharedBytes rec5b = signed_record(0, 0, 5);
+  std::uint32_t w5b = 0;
+  sim.spawn([](DecisionLog& l, SharedBytes rec, std::uint32_t& w) -> Task<> {
+    w = co_await l.publish(5, 0, 0, std::move(rec));
+  }(*logs[0], rec5b, w5b));
+  sim.run();
+  EXPECT_EQ(w5b, 3u);
+}
+
+TEST_F(DecisionLogTest, ExposedSurfaceIsRingPlusAckTables) {
+  // §III-C exposure accounting for the fast path: one ring (written by
+  // the current primary) plus one ack region per peer. Everything else —
+  // staging, QPs, CQs — stays local-only.
+  auto logs = DecisionLog::create_group(ctxs);
+  const std::size_t stride = logs[0]->slot_stride();
+  const DecisionLogConfig cfg;
+  EXPECT_EQ(logs[0]->exposed_bytes(),
+            cfg.slot_count * stride +
+                (kN - 1) * cfg.slot_count * DecisionLog::kAckCellBytes);
 }
 
 }  // namespace

@@ -165,10 +165,15 @@ LexedFile lex(std::string path, std::string_view src) {
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i;
-      while (j < n && (ident_cont(src[j]) || src[j] == '.' ||
-                       ((src[j] == '+' || src[j] == '-') && j > i &&
-                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
-                         src[j - 1] == 'p' || src[j - 1] == 'P'))))
+      // A ' inside a number is a digit separator (0xACC'0000), not a char
+      // literal — but only when a digit or letter follows, per the
+      // pp-number grammar.
+      while (j < n &&
+             (ident_cont(src[j]) || src[j] == '.' ||
+              (src[j] == '\'' && j + 1 < n && ident_cont(src[j + 1])) ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                src[j - 1] == 'p' || src[j - 1] == 'P'))))
         ++j;
       push(Tok::kNumber, std::string(src.substr(i, j - i)));
       i = j;
