@@ -1,0 +1,210 @@
+// PopLab scalability bench (ISSUE 9 acceptance): sweep the client count
+// and compare SRQ-backed receive paths against fully-provisioned per-QP
+// rings. The claim under test is the DSN-paper scaling argument for
+// shared receive queues: receive-state memory per connection must be
+// strictly lower in SRQ mode at EVERY swept count, while the population
+// stays live (all clients established, requests completing) at 100k+
+// open-loop clients in a single process.
+//
+// Modes:
+//   (default)        sweep 1k / 10k / 100k clients, both receive modes
+//   --smoke          small counts (256 / 1024) for CI; same assertions
+//   --clients N      sweep exactly {N} (up to 1M)
+//   --wall srq|perqp one count (default 10k, or --clients N), one mode,
+//                    greppable `virtual_rps=` line for scripts/bench.sh
+//                    pop — virtual output must be bit-identical across
+//                    repetitions of the same mode.
+//
+// Exit status is the CI gate: non-zero if any swept count fails the
+// memory invariant or fails to sustain the population.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/fabric.hpp"
+#include "poplab/population.hpp"
+#include "sim/simulator.hpp"
+
+using namespace rubin;
+using namespace rubin::bench;
+
+namespace {
+
+poplab::PopulationSpec make_spec(std::uint32_t clients) {
+  // One steady cohort at 50 rps per client over a 20ms schedule window,
+  // with the aggregate capped at 250k rps — past that the single ack
+  // server saturates and the sweep would measure overload shedding, not
+  // connection-count scaling. Arrivals are Poisson-thinned, payloads
+  // heavy-tailed; the spec shape is identical at every count so only the
+  // population size varies.
+  poplab::PopulationSpec spec;
+  spec.name = "scaling";
+  spec.seed = 2026;
+  spec.duration = sim::milliseconds(20);
+  poplab::CohortSpec c;
+  c.name = "load";
+  c.clients = clients;
+  c.arrival.kind = poplab::ArrivalSchedule::Kind::kSteady;
+  c.arrival.base_rps = std::min(50.0 * static_cast<double>(clients), 250000.0);
+  c.op_space = 64;
+  c.zipf_theta = 0.99;
+  c.payload_lo = 64;
+  c.payload_hi = 1024;
+  c.payload_alpha = 1.3;
+  c.timeout = sim::milliseconds(5);
+  spec.cohorts.push_back(c);
+  return spec;
+}
+
+poplab::PopulationReport run_population(std::uint32_t clients, bool use_srq) {
+  poplab::PopulationSpec spec = make_spec(clients);
+  poplab::PopulationConfig cfg;
+  cfg.use_srq = use_srq;
+
+  sim::Simulator sim;
+  net::Fabric fabric{sim, net::CostModel::roce_10g(),
+                     poplab::Population::host_count(spec, cfg)};
+  poplab::Population pop{fabric, spec, cfg};
+  sim.spawn(pop.run());
+  sim.run();
+  poplab::PopulationReport r = pop.report();
+  // serve() is an infinite root task suspended on the mux; reap it while
+  // the Population it references is still alive.
+  sim.terminate_processes();
+  return r;
+}
+
+const char* mode_name(bool use_srq) { return use_srq ? "srq" : "per-qp"; }
+
+// The bench spec is single-cohort, so its percentiles are the population's.
+double p50_of(const poplab::PopulationReport& r) {
+  return r.cohorts.empty() ? 0.0 : r.cohorts.front().p50_us;
+}
+double p99_of(const poplab::PopulationReport& r) {
+  return r.cohorts.empty() ? 0.0 : r.cohorts.front().p99_us;
+}
+double client_bytes_per_conn(const poplab::PopulationReport& r) {
+  return r.clients > 0 ? static_cast<double>(r.client_receive_state_bytes) /
+                             static_cast<double>(r.clients)
+                       : 0.0;
+}
+
+void print_point(std::uint32_t clients, bool use_srq,
+                 const poplab::PopulationReport& r) {
+  print_row({std::to_string(clients), mode_name(use_srq),
+             std::to_string(r.completions), std::to_string(r.timeouts),
+             std::to_string(r.drops), fmt(p50_of(r), 1), fmt(p99_of(r), 1),
+             fmt(r.throughput_rps / 1e3, 1),
+             fmt(r.server_recv_bytes_per_conn, 1),
+             fmt(client_bytes_per_conn(r), 1)});
+}
+
+int run_wall_mode(const char* mode, std::uint32_t clients) {
+  bool use_srq;
+  if (std::strcmp(mode, "srq") == 0) {
+    use_srq = true;
+  } else if (std::strcmp(mode, "perqp") == 0) {
+    use_srq = false;
+  } else {
+    std::fprintf(stderr, "bench_population_scaling: --wall srq|perqp\n");
+    return 2;
+  }
+  poplab::PopulationReport r = run_population(clients, use_srq);
+  // The determinism contract scripts/bench.sh pop asserts: identical
+  // digits across repetitions of the same mode.
+  std::printf("pop_wall mode=%s clients=%u virtual_rps=%.3f completions=%llu "
+              "p99_us=%.3f srv_bytes_per_conn=%.1f\n",
+              mode_name(use_srq), clients, r.throughput_rps,
+              static_cast<unsigned long long>(r.completions), p99_of(r),
+              r.server_recv_bytes_per_conn);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint32_t> counts{1000, 10000, 100000};
+  const char* wall = nullptr;
+  std::uint32_t wall_clients = 10000;
+  bool clients_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      counts = {256, 1024};
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      long long n = std::atoll(argv[++i]);
+      if (n < 1 || n > 1000000) {
+        std::fprintf(stderr, "--clients must be in [1, 1000000]\n");
+        return 2;
+      }
+      counts = {static_cast<std::uint32_t>(n)};
+      wall_clients = static_cast<std::uint32_t>(n);
+      clients_set = true;
+    } else if (std::strcmp(argv[i], "--wall") == 0 && i + 1 < argc) {
+      wall = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--clients N] [--wall srq|perqp]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  (void)clients_set;
+  if (wall != nullptr) return run_wall_mode(wall, wall_clients);
+
+  print_header("Population scaling: SRQ vs per-QP receive provisioning",
+               "open-loop clients, 50 rps each over a 20ms window; "
+               "bytes/conn = receive-state bytes per connection");
+  print_row({"clients", "mode", "completions", "timeouts", "drops", "p50us",
+             "p99us", "krps", "srvB/conn", "cliB/conn"});
+
+  bool ok = true;
+  for (std::uint32_t n : counts) {
+    poplab::PopulationReport srq = run_population(n, true);
+    poplab::PopulationReport perqp = run_population(n, false);
+    print_point(n, true, srq);
+    print_point(n, false, perqp);
+
+    // Gate 1: the population is sustained — every client established and
+    // the schedule actually completed work in both modes.
+    for (const auto* r : {&srq, &perqp}) {
+      if (r->established != r->clients || r->completions == 0) {
+        std::printf("  FAIL n=%u: population not sustained "
+                    "(established=%u/%u completions=%llu)\n",
+                    n, r->established, r->clients,
+                    static_cast<unsigned long long>(r->completions));
+        ok = false;
+      }
+    }
+    // Gate 2: the memory claim — SRQ receive state per connection is
+    // strictly below the per-QP baseline, server side and client side.
+    if (!(srq.server_recv_bytes_per_conn < perqp.server_recv_bytes_per_conn)) {
+      std::printf("  FAIL n=%u: server SRQ bytes/conn %.1f !< per-QP %.1f\n",
+                  n, srq.server_recv_bytes_per_conn,
+                  perqp.server_recv_bytes_per_conn);
+      ok = false;
+    }
+    if (!(srq.client_receive_state_bytes < perqp.client_receive_state_bytes)) {
+      std::printf("  FAIL n=%u: client SRQ recv-state %llu !< per-QP %llu\n",
+                  n,
+                  static_cast<unsigned long long>(srq.client_receive_state_bytes),
+                  static_cast<unsigned long long>(
+                      perqp.client_receive_state_bytes));
+      ok = false;
+    }
+    print_ratio(
+        ("n=" + std::to_string(n) + ": SRQ server recv-state vs per-QP").c_str(),
+        perqp.server_recv_bytes_per_conn > 0
+            ? 100.0 * srq.server_recv_bytes_per_conn /
+                  perqp.server_recv_bytes_per_conn
+            : 0.0);
+  }
+
+  std::printf("\n%s\n", ok ? "population-scaling: all gates PASS"
+                           : "population-scaling: GATE FAILURES");
+  return ok ? 0 : 1;
+}

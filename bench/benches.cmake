@@ -29,3 +29,5 @@ rubin_add_bench(bench_viewchange_recovery)
 target_link_libraries(bench_viewchange_recovery PRIVATE rubin_faultlab)
 rubin_add_bench(bench_fault_matrix)
 target_link_libraries(bench_fault_matrix PRIVATE rubin_faultlab)
+rubin_add_bench(bench_population_scaling)
+target_link_libraries(bench_population_scaling PRIVATE rubin_poplab)

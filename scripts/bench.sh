@@ -10,6 +10,7 @@
 # Usage: scripts/bench.sh [build-dir] [out.json]
 #        scripts/bench.sh ab <base-build-dir> <head-build-dir> [out.json]
 #        scripts/bench.sh cop <build-dir> [out.json]
+#        scripts/bench.sh pop <build-dir> [out.json]
 #   build-dir: configured *release-noaudit* build tree (default:
 #              ./build-release). Audit-enabled builds measure the audit
 #              layer, not the kernel — the script warns but proceeds.
@@ -36,6 +37,16 @@
 # binary prints its virtual-time throughput; the script asserts the two
 # sides printed identical digits (the determinism contract) and reports
 # wall seconds per side. BENCH_PR5.json holds the PR-5 pair.
+#
+# POP mode: SRQ vs per-QP A/B of the SAME binary (bench_population_scaling
+# --wall srq / --wall perqp, $RUBIN_POP_CLIENTS clients, default 10000),
+# interleaved like cop mode. The two sides run *different* receive
+# provisioning, so their numbers legitimately differ; the determinism
+# contract here is per side — every rep of a side must print an identical
+# pop_wall line (virtual time is a pure function of the scenario). The
+# script reports wall seconds and server receive-state bytes/connection
+# per side plus the srq/perqp memory ratio. BENCH_PR9.json holds the PR-9
+# pair.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -100,6 +111,97 @@ if [ "${1:-}" = "cop" ]; then
     printf '  "pool_wall_seconds": %s,\n' "$POOL_S"
     printf '  "pool_over_serial_wall_speedup": %s\n' \
       "$(awk -v a="$SERIAL_S" -v b="$POOL_S" 'BEGIN { printf "%.3f", a / b }')"
+    printf '}\n'
+  )
+
+  if [ -n "$OUT" ]; then
+    printf '%s\n' "$JSON" >"$OUT"
+    echo "bench.sh: wrote $OUT" >&2
+  else
+    printf '%s\n' "$JSON"
+  fi
+  exit 0
+fi
+
+# ---------------------------------------------------------------- pop mode ---
+
+if [ "${1:-}" = "pop" ]; then
+  DIR="${2:?bench.sh pop: missing build dir}"
+  OUT="${3:-}"
+  REPS="${RUBIN_BENCH_REPS:-5}"
+  CLIENTS="${RUBIN_POP_CLIENTS:-10000}"
+  BIN="$DIR/bench/bench_population_scaling"
+  [ -x "$BIN" ] || {
+    echo "bench.sh pop: missing $BIN — build it first:" >&2
+    echo "  cmake --build $DIR --target bench_population_scaling" >&2
+    exit 1
+  }
+
+  TMP=$(mktemp -d)
+  trap 'rm -rf "$TMP"' EXIT
+
+  run_pop_side() { # $1=side-name (also the --wall mode arg)
+    start=$(date +%s.%N)
+    "$BIN" --wall "$1" --clients "$CLIENTS" > "$TMP/$1.last" 2>/dev/null
+    end=$(date +%s.%N)
+    awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f\n", b - a }' \
+      >> "$TMP/$1.wall"
+    grep '^pop_wall ' "$TMP/$1.last" >> "$TMP/$1.lines"
+  }
+
+  i=0
+  while [ "$i" -lt "$REPS" ]; do
+    if [ $((i % 2)) -eq 0 ]; then
+      run_pop_side srq; run_pop_side perqp
+    else
+      run_pop_side perqp; run_pop_side srq
+    fi
+    i=$((i + 1))
+  done
+
+  # Per-side determinism: a side's virtual-time output must be identical
+  # on every rep. (The sides differ from each other by design.)
+  for side in srq perqp; do
+    if [ "$(sort -u "$TMP/$side.lines" | wc -l)" -ne 1 ]; then
+      echo "bench.sh pop: VIRTUAL OUTPUT DIVERGED across $side reps:" >&2
+      sort -u "$TMP/$side.lines" >&2
+      exit 1
+    fi
+  done
+
+  pop_field() { # $1=side $2=field-name — value from the pop_wall line
+    sort -u "$TMP/$1.lines" | grep -o "$2=[0-9.]*" | sed "s/$2=//"
+  }
+
+  SRQ_S=$(sort -n "$TMP/srq.wall" | head -1)
+  PERQP_S=$(sort -n "$TMP/perqp.wall" | head -1)
+  SRQ_BPC=$(pop_field srq srv_bytes_per_conn)
+  PERQP_BPC=$(pop_field perqp srv_bytes_per_conn)
+
+  JSON=$(
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "host": "%s",\n' "$(uname -srm)"
+    printf '  "host_cores": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "mode": "interleaved-pop-ab",\n'
+    printf '  "reps": %s,\n' "$REPS"
+    printf '  "build_dir": "%s",\n' "$DIR"
+    printf '  "clients": %s,\n' "$CLIENTS"
+    printf '  "per_side_output_identical_across_reps": true,\n'
+    printf '  "srq": {\n'
+    printf '    "wall_seconds": %s,\n' "$SRQ_S"
+    printf '    "virtual_rps": %s,\n' "$(pop_field srq virtual_rps)"
+    printf '    "p99_us": %s,\n' "$(pop_field srq p99_us)"
+    printf '    "server_recv_bytes_per_conn": %s\n' "$SRQ_BPC"
+    printf '  },\n'
+    printf '  "perqp": {\n'
+    printf '    "wall_seconds": %s,\n' "$PERQP_S"
+    printf '    "virtual_rps": %s,\n' "$(pop_field perqp virtual_rps)"
+    printf '    "p99_us": %s,\n' "$(pop_field perqp p99_us)"
+    printf '    "server_recv_bytes_per_conn": %s\n' "$PERQP_BPC"
+    printf '  },\n'
+    printf '  "srq_over_perqp_recv_bytes_per_conn": %s\n' \
+      "$(awk -v a="$SRQ_BPC" -v b="$PERQP_BPC" 'BEGIN { printf "%.4f", a / b }')"
     printf '}\n'
   )
 

@@ -1,11 +1,18 @@
-// Deterministic pseudo-random number generator (xoshiro256**).
+// Deterministic pseudo-random number generator (xoshiro256**) and the
+// workload distributions built on it (Zipf, bounded Pareto, exponential).
 //
 // Everything that needs randomness — workload generators, fault injection,
 // jitter — takes an explicit `Rng&` seeded by the test/bench, so every run
 // is reproducible. Never uses std::random_device or wall-clock seeding.
+// The samplers are deterministic too: libm transcendentals are evaluated
+// identically across the build presets (same libm, no FMA contraction at
+// the default -march), which the golden pins in determinism_test assert.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace rubin {
 
@@ -67,5 +74,67 @@ class Rng {
   }
   std::uint64_t state_[4];
 };
+
+/// Zipf-distributed ranks over {0, …, n-1}: rank i is drawn with
+/// probability proportional to 1/(i+1)^theta. theta = 0 is uniform;
+/// YCSB-style skew uses ~0.99. The CDF table is built once (the only
+/// std::pow calls) and sampling is one uniform draw plus a binary search,
+/// so a population of cohorts can share one sampler.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta) {
+    cdf_.reserve(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_.push_back(sum);
+    }
+  }
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  std::size_t sample(Rng& rng) const noexcept {
+    const double u = rng.next_double() * cdf_.back();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Bounded Pareto on [lo, hi] with shape alpha — the heavy-tailed payload
+/// distribution (most requests small, rare large ones dominating bytes).
+/// Sampled by inverse CDF: one uniform draw, one std::pow.
+class BoundedParetoSampler {
+ public:
+  BoundedParetoSampler(double lo, double hi, double alpha) noexcept
+      : lo_(lo),
+        inv_alpha_(1.0 / alpha),
+        tail_(1.0 - std::pow(lo / hi, alpha)) {}
+
+  double sample(Rng& rng) const noexcept {
+    return lo_ / std::pow(1.0 - rng.next_double() * tail_, inv_alpha_);
+  }
+
+  /// Truncating integer convenience for payload sizes.
+  std::uint64_t sample_size(Rng& rng) const noexcept {
+    return static_cast<std::uint64_t>(sample(rng));
+  }
+
+ private:
+  double lo_;
+  double inv_alpha_;
+  double tail_;
+};
+
+/// Exponential variate with the given mean — the interarrival time of a
+/// Poisson process, which is what makes an open-loop driver open-loop:
+/// arrivals do not wait for completions. 1-u is in (0, 1], so the log
+/// never sees zero.
+inline double exponential(Rng& rng, double mean) noexcept {
+  return -mean * std::log(1.0 - rng.next_double());
+}
 
 }  // namespace rubin

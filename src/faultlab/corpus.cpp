@@ -196,6 +196,28 @@ std::vector<Scenario> corpus() {
   }
 
   {
+    // The first faulty-*client* scenario (PopLab PR): the replica group
+    // itself is healthy throughout — the fault is an entire client cohort
+    // dropping off mid-ramp. The group must stay live for the surviving
+    // cohort during the outage, and the partitioned clients' retries must
+    // drain after the heal (retry_timeout 15ms < heal-to-horizon slack).
+    Scenario s = base("f1-partition-client-cohort",
+                      "half the client population (hosts 6,7) is partitioned "
+                      "away mid-ramp for 20ms; the group keeps serving the "
+                      "surviving cohort, and the dropped cohort's retries "
+                      "complete after the heal", 4);
+    s.clients = 4;  // hosts 4,5 = cohort A (survivors), 6,7 = cohort B
+    s.events.push_back(at(sim::milliseconds(4), "drop client cohort B",
+                          [](Lab& l) {
+                            l.isolate(6);
+                            l.isolate(7);
+                          }));
+    s.events.push_back(at(sim::milliseconds(24), "heal cohort partition",
+                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  {
     Scenario s = base("f1-lossy-fabric",
                       "5% global frame loss for 50ms; RC retransmission "
                       "and client retries ride it out", 4);

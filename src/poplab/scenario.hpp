@@ -1,0 +1,87 @@
+// Declarative population scenarios — workloads as data, not code
+// (ROADMAP: the baykaner end-to-end YAML files are the shape; this is the
+// repo-native line-oriented equivalent, parsed at run time so new
+// populations need no recompile).
+//
+// A `.pop` file declares one population: a seed, a duration, and cohorts.
+// Each cohort is an open-loop client group with its own arrival-rate
+// schedule (steady / ramp / step / burst), Zipf op mix, bounded-Pareto
+// payload sizes, and request timeout. Grammar (one directive per line,
+// '#' comments, cohort blocks closed by `end`):
+//
+//   population <name>
+//   seed <u64>
+//   duration_ms <float>
+//   cohort <name>
+//     clients <u32>
+//     start_ms <float>
+//     arrival steady <rps>
+//     arrival ramp <from_rps> <to_rps> <over_ms>
+//     arrival step <base_rps> <at_ms> <to_rps>
+//     arrival burst <base_rps> <burst_rps> <period_ms> <burst_ms>
+//     ops <op_space> zipf <theta>
+//     payload pareto <lo_bytes> <hi_bytes> <alpha>
+//     payload fixed <bytes>
+//     timeout_ms <float>
+//   end
+//
+// Rates are cohort-aggregate requests per second.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rubin::poplab {
+
+/// Time-varying cohort arrival rate (requests/second, cohort-aggregate).
+struct ArrivalSchedule {
+  enum class Kind : std::uint8_t { kSteady, kRamp, kStep, kBurst };
+  Kind kind = Kind::kSteady;
+  double base_rps = 100.0;
+  /// Ramp/step target; burst peak.
+  double peak_rps = 0.0;
+  /// Ramp length, step instant, or burst period (relative to cohort start).
+  sim::Time at = 0;
+  /// Burst only: how long each burst lasts within the period.
+  sim::Time width = 0;
+
+  /// Instantaneous rate `elapsed` nanoseconds after the cohort started.
+  double rate_at(sim::Time elapsed) const noexcept;
+};
+
+struct CohortSpec {
+  std::string name;
+  std::uint32_t clients = 1;
+  sim::Time start = 0;  // relative to population start
+  ArrivalSchedule arrival;
+  /// Op mix: Zipf over {0, …, op_space-1} with exponent zipf_theta.
+  std::uint32_t op_space = 16;
+  double zipf_theta = 0.99;
+  /// Payload bytes: bounded Pareto [payload_lo, payload_hi], shape alpha.
+  /// payload_lo == payload_hi means fixed-size.
+  double payload_lo = 64.0;
+  double payload_hi = 1024.0;
+  double payload_alpha = 1.3;
+  sim::Time timeout = sim::milliseconds(20);
+};
+
+struct PopulationSpec {
+  std::string name = "population";
+  std::uint64_t seed = 1;
+  sim::Time duration = sim::milliseconds(100);
+  std::vector<CohortSpec> cohorts;
+
+  std::uint32_t total_clients() const noexcept;
+
+  /// Parses scenario text; throws std::invalid_argument naming the line
+  /// on any malformed directive.
+  static PopulationSpec parse(std::string_view text);
+  /// Reads and parses a `.pop` file; throws on I/O or parse errors.
+  static PopulationSpec load(const std::string& path);
+};
+
+}  // namespace rubin::poplab

@@ -26,10 +26,12 @@ NodeId parse_hello(ByteView b) {
 
 RubinTransport::RubinTransport(nio::RubinContext& ctx, GroupLayout layout,
                                NodeId self, nio::ChannelConfig ccfg,
-                               std::size_t batch_limit)
+                               std::size_t batch_limit,
+                               std::optional<nio::ChannelConfig> accept_cfg)
     : Transport(std::move(layout), self),
       ctx_(&ctx),
       ccfg_(ccfg),
+      accept_cfg_(accept_cfg),
       batch_limit_(batch_limit == 0 ? 1 : batch_limit),
       selector_(ctx) {
   if (ccfg_.policy.mode == nio::TransportPolicy::Mode::kAdaptive) {
@@ -122,7 +124,7 @@ sim::Task<void> RubinTransport::maintain_connections() {
 
 sim::Task<void> RubinTransport::start() {
   if (layout_.is_replica(self_)) {
-    server_ = ctx_->listen(layout_.base_port, ccfg_);
+    server_ = ctx_->listen(layout_.base_port, accept_cfg_.value_or(ccfg_));
     selector_.register_server(server_, nio::kOpConnect | nio::kOpAccept,
                               kAttachServer);
   }

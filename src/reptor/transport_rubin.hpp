@@ -30,10 +30,16 @@ class RubinTransport final : public Transport {
   }
 
   /// `batch_limit` caps messages per write_batch call (paper Fig. 4 uses
-  /// 10). `ccfg` sizes the per-connection buffer pools.
+  /// 10). `ccfg` sizes the per-connection buffer pools. `accept_cfg`, when
+  /// set, sizes *accepted* (ingress) connections separately from dialed
+  /// ones — a replica facing a large client population can provision its
+  /// client-facing receive side leaner than the replica mesh (PopLab's
+  /// receive-state economics applied to the protocol stack). Unset means
+  /// accepted connections use `ccfg`, bit-identical to the old behaviour.
   RubinTransport(nio::RubinContext& ctx, GroupLayout layout, NodeId self,
                  nio::ChannelConfig ccfg = default_config(),
-                 std::size_t batch_limit = 10);
+                 std::size_t batch_limit = 10,
+                 std::optional<nio::ChannelConfig> accept_cfg = std::nullopt);
 
   bool connected(NodeId peer) const override;
   sim::Task<void> start() override;
@@ -69,6 +75,8 @@ class RubinTransport final : public Transport {
 
   nio::RubinContext* ctx_;
   nio::ChannelConfig ccfg_;
+  /// Sizing for accepted (ingress) connections; ccfg_ when unset.
+  std::optional<nio::ChannelConfig> accept_cfg_;
   std::size_t batch_limit_;
   nio::RdmaSelector selector_;
   /// Engaged when ccfg_.policy is kAdaptive: the per-frame transport

@@ -25,7 +25,9 @@ BufferPool::BufferPool(verbs::ProtectionDomain& pd, std::uint32_t count,
 BufferPool::~BufferPool() {
   RUBIN_AUDIT_ASSERT("buffer_pool", acquired_count() == 0,
                      std::to_string(acquired_count()) +
-                         " slot(s) leaked at pool destruction");
+                         " slot(s) leaked at pool destruction (count=" +
+                         std::to_string(count_) + " slot_size=" +
+                         std::to_string(size_) + ")");
   pd_->deregister(mr_);
 }
 

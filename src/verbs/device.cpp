@@ -66,6 +66,12 @@ CompletionQueue* Device::create_cq(std::size_t capacity,
   return cqs_.back().get();
 }
 
+SharedReceiveQueue* Device::create_srq(SrqConfig cfg) {
+  srqs_.push_back(std::unique_ptr<SharedReceiveQueue>(
+      new SharedReceiveQueue(*this, cfg)));
+  return srqs_.back().get();
+}
+
 std::shared_ptr<QueuePair> Device::create_qp(ProtectionDomain& pd,
                                              CompletionQueue& send_cq,
                                              CompletionQueue& recv_cq,
@@ -74,6 +80,7 @@ std::shared_ptr<QueuePair> Device::create_qp(ProtectionDomain& pd,
   auto qp = std::shared_ptr<QueuePair>(
       new QueuePair(*this, pd, send_cq, recv_cq, qpn, cfg));
   qps_[qpn] = qp;
+  if (cfg.srq != nullptr) cfg.srq->attach(qp);
   return qp;
 }
 
@@ -380,6 +387,9 @@ PostResult QueuePair::post_recv_now(std::vector<RecvWr> wrs) {
 
 PostResult QueuePair::post_recv_now(std::span<const RecvWr> wrs) {
   if (state_ == QpState::kError) return PostResult::kInvalidState;
+  // An SRQ-attached QP has no receive queue of its own: post to the SRQ
+  // (EINVAL in real verbs).
+  if (cfg_.srq != nullptr) return PostResult::kInvalidState;
   if (recv_queue_.size() + wrs.size() > cfg_.max_recv_wr) {
     return PostResult::kQueueFull;
   }
@@ -391,12 +401,27 @@ PostResult QueuePair::post_recv_now(std::span<const RecvWr> wrs) {
 void QueuePair::set_error() {
   if (state_ == QpState::kError) return;
   state_ = QpState::kError;
-  // Flush posted receives.
+  // Flush posted receives. SRQ WRs are *not* flushed — they belong to the
+  // shared queue until taken (ibv_srq semantics), so an SRQ-attached QP
+  // has an empty recv_queue_ and this loop does nothing.
   while (!recv_queue_.empty()) {
     const RecvWr wr = recv_queue_.front();
     recv_queue_.pop_front();
     complete_recv(Completion{wr.wr_id, Opcode::kRecv,
                              WcStatus::kWorkRequestFlushed, 0, qpn_, {}});
+  }
+  // Inbound sends parked behind RNR backpressure belong to remote WRs that
+  // will never be matched now: NAK their senders (RC semantics — the
+  // requester's WR must complete, with error, or its resources leak).
+  auto& sim = dev_->simulator();
+  const auto& cm = dev_->cost();
+  for (const InboundSend& in : inbound_) {
+    if (auto sender = in.sender.lock()) {
+      sim.schedule_after(cm.ack_latency, [sender, wr_id = in.sender_wr_id] {
+        sender->complete_send(wr_id, Opcode::kSend,
+                              WcStatus::kRemoteOperationError, true);
+      });
+    }
   }
   inbound_.clear();
 }
@@ -406,6 +431,11 @@ void QueuePair::on_send_arrival(InboundSend in) {
   in.retries_left = cfg_.rnr_retries;
   inbound_.push_back(std::move(in));
   drain_inbound();
+  if (!inbound_.empty() && cfg_.srq != nullptr) {
+    // Parked because the shared queue is drained: RNR-style backpressure.
+    // A later SRQ refill re-drains us (attach order) ahead of the timer.
+    RUBIN_AUDIT_COUNT("verbs.srq.rnr_backpressure", 1);
+  }
   if (!inbound_.empty() && !rnr_timer_armed_) {
     rnr_timer_armed_ = true;
     auto self = weak_from_this();
@@ -418,12 +448,19 @@ void QueuePair::on_send_arrival(InboundSend in) {
 void QueuePair::drain_inbound() {
   auto& sim = dev_->simulator();
   const auto& cm = dev_->cost();
-  while (!inbound_.empty() && !recv_queue_.empty() &&
-         state_ != QpState::kError) {
+  SharedReceiveQueue* srq = cfg_.srq;
+  while (!inbound_.empty() && state_ != QpState::kError &&
+         (srq != nullptr ? srq->posted() > 0 : !recv_queue_.empty())) {
     InboundSend in = std::move(inbound_.front());
     inbound_.pop_front();
-    const RecvWr rwr = recv_queue_.front();
-    recv_queue_.pop_front();
+    RecvWr rwr;
+    if (srq != nullptr) {
+      rwr = srq->take();
+    } else {
+      rwr = recv_queue_.front();
+      recv_queue_.pop_front();
+    }
+    const bool from_srq = srq != nullptr;
 
     const MemoryRegion* mr = pd_->check_local(rwr.sge, /*need_write=*/true);
     auto fail_both = [&](WcStatus recv_status, WcStatus send_status) {
@@ -453,9 +490,30 @@ void QueuePair::drain_inbound() {
     std::uint8_t* dst = mr->data_at(rwr.sge.addr);
     auto self = weak_from_this();
     sim.schedule_at(
-        done, [self, dst, in = std::move(in), rwr, len, &cm, &sim]() mutable {
+        done, [self, dst, in = std::move(in), rwr, len, from_srq, &cm,
+               &sim]() mutable {
           auto qp = self.lock();
-          if (!qp || qp->state_ == QpState::kError) return;
+          if (!qp || qp->state_ == QpState::kError) {
+            // An SRQ WR belongs to the consuming QP from take() onward: a
+            // QP torn down with the DMA in flight flush-completes it on
+            // its own CQ (routing survives teardown). Per-QP WRs were
+            // already flushed by set_error.
+            if (qp && from_srq) {
+              qp->complete_recv(Completion{rwr.wr_id, Opcode::kRecv,
+                                           WcStatus::kWorkRequestFlushed, 0,
+                                           qp->qpn_, {}});
+            }
+            // The responder died mid-DMA; the requester still gets a NAK —
+            // its WR must complete (with error) or its resources leak.
+            sim.schedule_after(
+                cm.ack_latency, [s = in.sender, wr_id = in.sender_wr_id] {
+                  if (auto q = s.lock()) {
+                    q->complete_send(wr_id, Opcode::kSend,
+                                     WcStatus::kRemoteOperationError, true);
+                  }
+                });
+            return;
+          }
           // The DMA-write charge is already in `done`; the physical copy
           // into the MR happens only when the receiver reads the MR bytes
           // directly. capture_payload consumers get the handle instead —
@@ -518,9 +576,13 @@ void QueuePair::rnr_tick() {
   InboundSend& head = inbound_.front();
   if (head.retries_left == 0) {
     // Receiver never provisioned a buffer (paper §II-A: "it is important
-    // to allocate enough receive requests"). The connection breaks.
-    if (auto sender = head.sender.lock()) {
-      sim.schedule_after(cm.ack_latency, [sender, wr_id = head.sender_wr_id] {
+    // to allocate enough receive requests"). The connection breaks. The
+    // head is popped first so set_error()'s NAK sweep of the remaining
+    // parked senders cannot complete it a second time.
+    const InboundSend failed = std::move(head);
+    inbound_.pop_front();
+    if (auto sender = failed.sender.lock()) {
+      sim.schedule_after(cm.ack_latency, [sender, wr_id = failed.sender_wr_id] {
         sender->complete_send(wr_id, Opcode::kSend,
                               WcStatus::kRnrRetryExceeded, true);
       });

@@ -37,6 +37,7 @@
 #include "sim/task.hpp"
 #include "verbs/cq.hpp"
 #include "verbs/memory.hpp"
+#include "verbs/srq.hpp"
 #include "verbs/types.hpp"
 
 namespace rubin::verbs {
@@ -105,6 +106,7 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
 
  private:
   friend class Device;
+  friend class SharedReceiveQueue;  // redrain after a refill
 
   QueuePair(Device& dev, ProtectionDomain& pd, CompletionQueue& send_cq,
             CompletionQueue& recv_cq, std::uint32_t qpn, QpConfig cfg);
@@ -189,6 +191,9 @@ class Device {
   CompletionChannel* create_channel();
   CompletionQueue* create_cq(std::size_t capacity,
                              CompletionChannel* channel = nullptr);
+  /// Creates a shared receive queue owned by this device (ibv_create_srq).
+  /// Hand the pointer to QpConfig::srq when creating consumer QPs.
+  SharedReceiveQueue* create_srq(SrqConfig cfg = {});
   std::shared_ptr<QueuePair> create_qp(ProtectionDomain& pd,
                                        CompletionQueue& send_cq,
                                        CompletionQueue& recv_cq,
@@ -239,6 +244,7 @@ class Device {
   std::map<std::uint32_t, std::weak_ptr<QueuePair>> qps_;
   std::vector<std::unique_ptr<CompletionChannel>> channels_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<SharedReceiveQueue>> srqs_;
   std::uint64_t messages_sent_ = 0;
 };
 

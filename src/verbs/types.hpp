@@ -14,6 +14,8 @@
 
 namespace rubin::verbs {
 
+class SharedReceiveQueue;
+
 /// Memory-region access permissions (ibv_access_flags).
 enum Access : std::uint32_t {
   kAccessLocalWrite = 1u << 0,   // NIC may DMA inbound data into the region
@@ -228,6 +230,13 @@ struct QpConfig {
   /// legitimate queueing delay (deep windows of large messages wait
   /// several ms for the wire). Real RC defaults are in the tens of ms.
   std::int64_t transport_retry_timeout_ns = 50 * 1000 * 1000;  // 50 ms
+  /// Shared receive queue (verbs/srq.hpp). When set, this QP has no
+  /// receive queue of its own: inbound SENDs consume SRQ work requests
+  /// (posting receives to the QP is rejected), and max_recv_wr is
+  /// ignored. The SRQ must belong to the same device and outlive the QP.
+  /// Null — the default — keeps the fully-provisioned per-QP ring, and
+  /// every code path is bit-identical to a build without SRQ support.
+  SharedReceiveQueue* srq = nullptr;
 };
 
 enum class QpState : std::uint8_t { kInit, kReadyToSend, kError };

@@ -85,6 +85,11 @@ class BftHarness {
   verbs::Device& device(net::HostId host) { return *devices_.at(host); }
   bool has_devices() const noexcept { return !devices_.empty(); }
 
+  /// RUBIN backend only: host id's nio context, for tests that build
+  /// custom transports (e.g. a leaner accept-side channel config) over
+  /// the harness's fabric instead of going through make_transport.
+  nio::RubinContext& context(NodeId id) { return *contexts_.at(id); }
+
   /// Per-deployment channel tuning for the RUBIN backend (ignored by
   /// kNio). Applies to every transport built afterwards — replicas *and*
   /// clients, so a deployment-level flag like zero_copy_receive covers

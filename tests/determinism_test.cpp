@@ -10,6 +10,7 @@
 
 #include "common/audit.hpp"
 #include "common/worker_pool.hpp"
+#include "poplab/population.hpp"
 #include "rubin/transport_select.hpp"
 #include "faultlab/corpus.hpp"
 #include "faultlab/lab.hpp"
@@ -219,6 +220,67 @@ TEST(Determinism, FaultScenariosReplayBitIdentically) {
     EXPECT_EQ(a.frames_duplicated, b.frames_duplicated) << name;
     EXPECT_EQ(a.frames_reordered, b.frames_reordered) << name;
   }
+}
+
+// Golden pins for the PopLab samplers. The ArrivalStream is specified as a
+// pure function of (spec, seed): these constants may only change with an
+// explicit, intentional break of the sampler contract (which invalidates
+// every recorded population schedule).
+namespace {
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001B3ull;
+}
+
+std::uint64_t arrival_digest(const poplab::CohortSpec& spec,
+                             std::uint64_t seed, sim::Time horizon) {
+  poplab::ArrivalStream s(spec, seed, horizon);
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  while (auto a = s.next()) {
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(a->at));
+    h = fnv1a_mix(h, a->client);
+    h = fnv1a_mix(h, a->op);
+    h = fnv1a_mix(h, a->bytes);
+  }
+  return h;
+}
+
+}  // namespace
+
+TEST(Determinism, PoplabArrivalStreamsMatchGoldenDigests) {
+  poplab::CohortSpec c;
+  c.name = "pin";
+  c.clients = 64;
+  c.arrival.base_rps = 50000.0;
+  c.op_space = 16;
+  c.zipf_theta = 0.99;
+  c.payload_lo = 64;
+  c.payload_hi = 1024;
+  c.payload_alpha = 1.3;
+
+  c.arrival.kind = poplab::ArrivalSchedule::Kind::kSteady;
+  EXPECT_EQ(arrival_digest(c, 42, sim::milliseconds(20)),
+            0x821F10AF3E696BC0ull);
+
+  c.arrival.kind = poplab::ArrivalSchedule::Kind::kRamp;
+  c.arrival.peak_rps = 100000.0;
+  c.arrival.at = sim::milliseconds(15);
+  EXPECT_EQ(arrival_digest(c, 42, sim::milliseconds(20)),
+            0x50E321CD6C2845F2ull);
+
+  c.arrival.kind = poplab::ArrivalSchedule::Kind::kBurst;
+  c.arrival.at = sim::milliseconds(5);
+  c.arrival.width = sim::milliseconds(1);
+  EXPECT_EQ(arrival_digest(c, 42, sim::milliseconds(20)),
+            0x5AFB021C04EE94A9ull);
+
+  // The per-cohort seed derivation Population uses is part of the same
+  // pinned surface: golden-ratio stride over the population seed.
+  c.arrival.kind = poplab::ArrivalSchedule::Kind::kSteady;
+  EXPECT_EQ(arrival_digest(c, 42 + 0x9E3779B97F4A7C15ull * 2,
+                           sim::milliseconds(20)),
+            0x17E41C235C393B3Full);
 }
 
 // ------------------------------------------------- datapath accounting ---

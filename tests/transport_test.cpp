@@ -241,6 +241,80 @@ TEST_P(TransportTest, StackCostSlowsTheStack) {
   EXPECT_GT(costly, cheap + sim::microseconds(90));
 }
 
+// RUBIN-only: a transport whose *accepted* connections use a leaner
+// channel config than its dialed ones (the PopLab receive-state
+// economics applied to the protocol stack). Bring-up and both frame
+// directions must still work when ingress pools are a fraction of the
+// mesh config's size.
+TEST(RubinTransportAcceptConfig, LeanerIngressPoolsStillServeTraffic) {
+  BftHarness h(Backend::kRubin, 2, 0);
+  nio::ChannelConfig lean = RubinTransport::default_config();
+  lean.buffer_count = 8;
+  lean.buffer_size = 4096;
+  std::vector<std::unique_ptr<Transport>> ts;
+  for (NodeId id = 0; id < 2; ++id) {
+    ts.push_back(std::make_unique<RubinTransport>(
+        h.context(id), h.layout(), id, RubinTransport::default_config(),
+        /*batch_limit=*/10, lean));
+  }
+  int started = 0;
+  bool done = false;
+  for (auto& t : ts) {
+    h.sim().spawn([](Transport& t, int& started, bool& done) -> Task<> {
+      co_await t.start();
+      ++started;
+      while (!done) (void)co_await t.poll(sim::microseconds(100));
+    }(*t, started, done));
+  }
+  while (started < 2) {
+    h.sim().run_until(h.sim().now() + sim::milliseconds(1));
+    ASSERT_LT(h.sim().now(), sim::seconds(5)) << "bring-up stalled";
+  }
+  done = true;
+  h.sim().run_until(h.sim().now() + sim::milliseconds(2));
+  EXPECT_TRUE(ts[0]->connected(1) || ts[1]->connected(0));
+
+  // Both directions cross a lean ingress pool exactly once: whichever
+  // side accepted receives through it, and the reply exercises the
+  // other side's (full-size) dialed pool. Frames must fit `lean`.
+  const SharedBytes ping = SharedBytes::copy_of(patterned_bytes(1500, 3));
+  const SharedBytes pong = SharedBytes::copy_of(patterned_bytes(3000, 4));
+  bool ok0 = false;
+  bool ok1 = false;
+  h.sim().spawn([](Transport& t, const SharedBytes& ping,
+                   const SharedBytes& pong, bool& ok) -> Task<> {
+    t.send(1, ping);
+    for (;;) {
+      const auto msgs = co_await t.poll(sim::milliseconds(5));
+      for (const auto& m : msgs) {
+        if (m.peer == 1 && m.frame == pong) {
+          ok = true;
+          co_return;
+        }
+      }
+      if (msgs.empty()) co_return;
+    }
+  }(*ts[0], ping, pong, ok0));
+  h.sim().spawn([](Transport& t, const SharedBytes& ping,
+                   const SharedBytes& pong, bool& ok) -> Task<> {
+    for (;;) {
+      const auto msgs = co_await t.poll(sim::milliseconds(5));
+      for (const auto& m : msgs) {
+        if (m.peer == 0 && m.frame == ping) {
+          ok = true;
+          t.send(0, pong);
+          (void)co_await t.poll(0);  // flush
+          co_return;
+        }
+      }
+      if (msgs.empty()) co_return;
+    }
+  }(*ts[1], ping, pong, ok1));
+  h.sim().run_until(h.sim().now() + sim::milliseconds(20));
+  EXPECT_TRUE(ok0);
+  EXPECT_TRUE(ok1);
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, TransportTest,
                          ::testing::Values(Backend::kNio, Backend::kRubin),
                          [](const auto& info) {
