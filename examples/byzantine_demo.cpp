@@ -36,7 +36,7 @@ int main() {
   s.replica_cfg.batch_timeout = sim::microseconds(100);
   s.replica_cfg.view_change_timeout = sim::milliseconds(5);
   s.client_cfg.retry_timeout = sim::milliseconds(4);
-  s.strategies[0] = &make_silent_primary;  // the whole fault injection
+  s.strategies[0] = "silent-primary";  // the whole fault injection
 
   Lab lab(std::move(s));
   const Report r = lab.run();

@@ -9,6 +9,14 @@
 
 namespace rubin {
 
+namespace {
+// Allocation ids are handed out once and never reused, so buffer_id()
+// equality is exactly "same logical allocation" — independent of the
+// recycling pool handing the same raw block back. Relaxed is enough:
+// the id is data, not a synchronization point.
+std::atomic<std::uint64_t> next_buffer_id{1};
+}  // namespace
+
 SharedBytes SharedBytes::allocate(std::size_t n) {
   if (n == 0) return {};
   if (n > UINT32_MAX) {
@@ -18,7 +26,9 @@ SharedBytes SharedBytes::allocate(std::size_t n) {
   // wire-sized buffers (headers, 1 KiB requests) churn once per message,
   // and the pool hands the same blocks back instead of hitting malloc.
   auto* raw = static_cast<std::uint8_t*>(frame_pool::allocate(sizeof(Ctrl) + n));
-  auto* ctrl = new (raw) Ctrl{1, static_cast<std::uint32_t>(n)};
+  auto* ctrl = new (raw) Ctrl{1, static_cast<std::uint32_t>(n),
+                              next_buffer_id.fetch_add(
+                                  1, std::memory_order_relaxed)};
   return SharedBytes(ctrl, raw + sizeof(Ctrl), n);
 }
 

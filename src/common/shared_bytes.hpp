@@ -24,12 +24,9 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <utility>
-
-#if defined(RUBIN_PARALLEL_LANES)
-#include <atomic>
-#endif
 
 #include "common/bytes.hpp"
 
@@ -106,6 +103,26 @@ class SharedBytes {
     return ctrl_ != nullptr ? ref_load(*ctrl_) : 0;
   }
 
+  /// Process-unique id of the backing allocation (0 for empty handles);
+  /// slices share their parent's id. Ids are never reused, so id
+  /// equality means "the same logical buffer" regardless of where the
+  /// host heap happened to place it — the deterministic identity that
+  /// address-keyed caches (e.g. the channel's send MR cache) need: heap
+  /// addresses recycle between runs, allocation ids never do.
+  std::uint64_t buffer_id() const noexcept {
+    return ctrl_ != nullptr ? ctrl_->id : 0;
+  }
+
+  /// Offset of this view within its backing allocation (0 for empty).
+  /// Together with buffer_id() this names a byte range deterministically.
+  std::size_t buffer_offset() const noexcept {
+    return ctrl_ != nullptr
+               ? static_cast<std::size_t>(
+                     data_ - (reinterpret_cast<const std::uint8_t*>(ctrl_) +
+                              sizeof(Ctrl)))
+               : 0;
+  }
+
   /// True when this build can safely share handles across host threads
   /// (atomic refcount compiled in).
   static constexpr bool thread_safe_refcount() noexcept {
@@ -136,6 +153,7 @@ class SharedBytes {
     std::uint32_t refs;
 #endif
     std::uint32_t capacity;  // bytes of data following the header
+    std::uint64_t id;        // process-unique allocation id (buffer_id())
   };
 
   static void ref_inc(Ctrl& c) noexcept {

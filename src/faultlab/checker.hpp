@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,9 +50,14 @@ struct Verdict {
 class Checker {
  public:
   /// `correct[r]` == true iff replica r runs no adversarial strategy and
-  /// no runtime fault is scheduled against it.
-  explicit Checker(std::vector<bool> correct)
-      : correct_(std::move(correct)) {}
+  /// no runtime fault is scheduled against it. `byzantine_clients` lists
+  /// client host ids running a ClientStrategy: their requests are exempt
+  /// from the forgery rule (a rogue client committing its own junk is
+  /// not a protocol violation — an honest client's bytes changing is).
+  explicit Checker(std::vector<bool> correct,
+                   std::set<reptor::NodeId> byzantine_clients = {})
+      : correct_(std::move(correct)),
+        byzantine_clients_(std::move(byzantine_clients)) {}
 
   /// Registers an operation a client is about to issue. Committed
   /// requests that match no registered (client, id, op) are forgeries.
@@ -74,6 +80,7 @@ class Checker {
 
  private:
   std::vector<bool> correct_;
+  std::set<reptor::NodeId> byzantine_clients_;
 
   // seq -> (digest, first correct committer) — the canonical commit.
   std::map<std::uint64_t, std::pair<Digest, reptor::NodeId>> canon_;

@@ -29,21 +29,13 @@ Scenario base(std::string name, std::string description, std::uint32_t n) {
 }
 
 FaultEvent at(sim::Time t, std::string label,
-              std::function<void(Lab&)> action, bool clears = false) {
+              std::vector<FaultAction> actions, bool clears = false) {
   FaultEvent e;
   e.label = std::move(label);
   e.at = t;
-  e.action = std::move(action);
+  e.actions = std::move(actions);
   e.clears_faults = clears;
   return e;
-}
-
-void crash(Lab& lab, reptor::NodeId r) {
-  lab.replica(r).inject_crash();
-}
-
-StrategyFactory abuse(reptor::FastPathAbuse mode) {
-  return [mode] { return reptor::make_fastpath_abuser(mode); };
 }
 
 /// Seeded fault-combination fuzz: draws `count` actions from the pool of
@@ -65,39 +57,32 @@ Scenario fuzz_combo(std::string name, std::uint32_t n,
   Rng gen(gen_seed);
   for (std::uint32_t i = 0; i < count; ++i) {
     const sim::Time when =
-        sim::milliseconds(1) + sim::microseconds(gen.next_in(0, 24000));
+        sim::milliseconds(1) + sim::microseconds(static_cast<double>(gen.next_in(0, 24000)));
     const std::string tag = "fuzz[" + std::to_string(i) + "] ";
     switch (gen.next_below(8)) {
       case 0: {
         const double rate = 0.01 * static_cast<double>(gen.next_in(2, 8));
         s.events.push_back(at(when, tag + "global drop rate",
-                              [rate](Lab& l) {
-                                l.fabric().set_drop_rate(rate);
-                              }));
+                              {FaultAction::drop_rate(rate)}));
         break;
       }
       case 1: {
         const double rate = 0.01 * static_cast<double>(gen.next_in(1, 4));
-        s.events.push_back(at(when, tag + "corrupt rate", [rate](Lab& l) {
-          l.fabric().set_corrupt_rate(rate);
-        }));
+        s.events.push_back(at(when, tag + "corrupt rate",
+                              {FaultAction::corrupt_rate(rate)}));
         break;
       }
       case 2: {
         const double rate = 0.01 * static_cast<double>(gen.next_in(5, 25));
-        s.events.push_back(at(when, tag + "duplicate rate", [rate](Lab& l) {
-          l.fabric().set_duplicate_rate(rate);
-        }));
+        s.events.push_back(at(when, tag + "duplicate rate",
+                              {FaultAction::duplicate_rate(rate)}));
         break;
       }
       case 3: {
         const double rate = 0.01 * static_cast<double>(gen.next_in(5, 30));
-        const sim::Time hold = sim::microseconds(gen.next_in(10, 30));
+        const sim::Time hold = sim::microseconds(static_cast<double>(gen.next_in(10, 30)));
         s.events.push_back(at(when, tag + "reorder burst",
-                              [rate, hold](Lab& l) {
-                                l.fabric().set_reorder_delay(hold);
-                                l.fabric().set_reorder_rate(rate);
-                              }));
+                              {FaultAction::reorder(rate, hold)}));
         break;
       }
       case 4: {
@@ -106,20 +91,16 @@ Scenario fuzz_combo(std::string name, std::uint32_t n,
         if (b >= a) ++b;
         const double rate = 0.1 * static_cast<double>(gen.next_in(2, 5));
         s.events.push_back(at(when, tag + "pair drop",
-                              [a, b, rate](Lab& l) {
-                                l.fabric().set_pair_drop_rate(a, b, rate);
-                              }));
+                              {FaultAction::pair_drop(a, b, rate)}));
         break;
       }
       case 5: {
         const auto a = static_cast<std::uint32_t>(gen.next_below(n));
         auto b = static_cast<std::uint32_t>(gen.next_below(n - 1));
         if (b >= a) ++b;
-        const sim::Time extra = sim::microseconds(gen.next_in(20, 200));
+        const sim::Time extra = sim::microseconds(static_cast<double>(gen.next_in(20, 200)));
         s.events.push_back(at(when, tag + "extra delay",
-                              [a, b, extra](Lab& l) {
-                                l.fabric().set_extra_delay(a, b, extra);
-                              }));
+                              {FaultAction::extra_delay(a, b, extra)}));
         break;
       }
       case 6: {
@@ -127,26 +108,20 @@ Scenario fuzz_combo(std::string name, std::uint32_t n,
         auto dst = static_cast<std::uint32_t>(gen.next_below(n - 1));
         if (dst >= src) ++dst;
         s.events.push_back(at(when, tag + "one-way block",
-                              [src, dst](Lab& l) {
-                                l.fabric().set_oneway_blocked(src, dst,
-                                                              true);
-                              }));
+                              {FaultAction::oneway(src, dst)}));
         break;
       }
       default: {
-        const auto r = static_cast<reptor::NodeId>(gen.next_in(1, n - 1));
-        const sim::Time stall = sim::milliseconds(gen.next_in(2, 6));
-        s.events.push_back(at(when, tag + "NIC stall", [r, stall](Lab& l) {
-          if (l.harness().has_devices()) {
-            l.device(r).inject_nic_stall(stall);
-          }
-        }));
+        const auto r = static_cast<std::uint32_t>(gen.next_in(1, n - 1));
+        const sim::Time stall = sim::milliseconds(static_cast<double>(gen.next_in(2, 6)));
+        s.events.push_back(at(when, tag + "NIC stall",
+                              {FaultAction::nic_stall(r, stall)}));
         break;
       }
     }
   }
   s.events.push_back(at(sim::milliseconds(30), "heal everything",
-                        [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+                        {FaultAction::heal()}, /*clears=*/true));
   return s;
 }
 
@@ -164,7 +139,7 @@ std::vector<Scenario> corpus() {
                       "keeps committing without a view change", 4);
     s.runtime_faulty = {3};
     s.events.push_back(at(sim::milliseconds(4), "crash replica 3",
-                          [](Lab& l) { crash(l, 3); }, /*clears=*/true));
+                          {FaultAction::crash(3)}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -176,8 +151,8 @@ std::vector<Scenario> corpus() {
     s.runtime_faulty = {0};
     FaultEvent e;
     e.label = "crash primary after 8 completions";
-    e.when = [](Lab& l) { return l.completions() >= 8; };
-    e.action = [](Lab& l) { crash(l, 0); };
+    e.after_completions = 8;
+    e.actions = {FaultAction::crash(0)};
     e.clears_faults = true;
     s.events.push_back(std::move(e));
     all.push_back(std::move(s));
@@ -189,9 +164,9 @@ std::vector<Scenario> corpus() {
                       "(honest, just unreachable); view change during the "
                       "outage, state transfer after the heal", 4);
     s.events.push_back(at(sim::milliseconds(4), "isolate replica 0",
-                          [](Lab& l) { l.isolate(0); }));
+                          {FaultAction::isolate(0)}));
     s.events.push_back(at(sim::milliseconds(24), "heal partition",
-                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+                          {FaultAction::heal()}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -208,12 +183,9 @@ std::vector<Scenario> corpus() {
                       "complete after the heal", 4);
     s.clients = 4;  // hosts 4,5 = cohort A (survivors), 6,7 = cohort B
     s.events.push_back(at(sim::milliseconds(4), "drop client cohort B",
-                          [](Lab& l) {
-                            l.isolate(6);
-                            l.isolate(7);
-                          }));
+                          {FaultAction::isolate(6), FaultAction::isolate(7)}));
     s.events.push_back(at(sim::milliseconds(24), "heal cohort partition",
-                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+                          {FaultAction::heal()}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -222,9 +194,9 @@ std::vector<Scenario> corpus() {
                       "5% global frame loss for 50ms; RC retransmission "
                       "and client retries ride it out", 4);
     s.events.push_back(at(sim::milliseconds(2), "5% drop rate",
-                          [](Lab& l) { l.fabric().set_drop_rate(0.05); }));
+                          {FaultAction::drop_rate(0.05)}));
     s.events.push_back(at(sim::milliseconds(30), "heal fabric",
-                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+                          {FaultAction::heal()}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -234,7 +206,7 @@ std::vector<Scenario> corpus() {
                       "MAC layer must reject every garbled frame (checker "
                       "proves none reach execution)", 4);
     s.events.push_back(at(sim::milliseconds(1), "5% corruption",
-                          [](Lab& l) { l.fabric().set_corrupt_rate(0.05); }));
+                          {FaultAction::corrupt_rate(0.05)}));
     all.push_back(std::move(s));
   }
 
@@ -243,9 +215,8 @@ std::vector<Scenario> corpus() {
                       "25% of frames are duplicated for the whole run; "
                       "verbs PSN tracking and PBFT dedup must absorb the "
                       "ghosts without double-execution", 4);
-    s.events.push_back(
-        at(sim::milliseconds(1), "25% duplication",
-           [](Lab& l) { l.fabric().set_duplicate_rate(0.25); }));
+    s.events.push_back(at(sim::milliseconds(1), "25% duplication",
+                          {FaultAction::duplicate_rate(0.25)}));
     all.push_back(std::move(s));
   }
 
@@ -254,12 +225,9 @@ std::vector<Scenario> corpus() {
                       "30% of frames held back 20us for the whole run; "
                       "out-of-order PREPARE/COMMIT arrival must not break "
                       "vote counting", 4);
-    s.events.push_back(at(sim::milliseconds(1), "30% reordering",
-                          [](Lab& l) {
-                            l.fabric().set_reorder_delay(
-                                sim::microseconds(20));
-                            l.fabric().set_reorder_rate(0.3);
-                          }));
+    s.events.push_back(
+        at(sim::milliseconds(1), "30% reordering",
+           {FaultAction::reorder(0.3, sim::microseconds(20))}));
     all.push_back(std::move(s));
   }
 
@@ -269,12 +237,7 @@ std::vector<Scenario> corpus() {
                       "(flushed completions); transports redial with "
                       "backoff and the replica rejoins", 4);
     s.events.push_back(at(sim::milliseconds(6), "QP errors on host 3",
-                          [](Lab& l) {
-                            if (l.harness().has_devices()) {
-                              l.device(3).inject_qp_errors();
-                            }
-                          },
-                          /*clears=*/true));
+                          {FaultAction::qp_errors(3)}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -283,14 +246,10 @@ std::vector<Scenario> corpus() {
                       "the primary's NIC stalls for 10ms (frames queue, "
                       "nothing sends); backups may view-change, the stall "
                       "drains, progress resumes", 4);
-    s.events.push_back(at(sim::milliseconds(5), "NIC stall on host 0",
-                          [](Lab& l) {
-                            if (l.harness().has_devices()) {
-                              l.device(0).inject_nic_stall(
-                                  sim::milliseconds(10));
-                            }
-                          },
-                          /*clears=*/true));
+    s.events.push_back(
+        at(sim::milliseconds(5), "NIC stall on host 0",
+           {FaultAction::nic_stall(0, sim::milliseconds(10))},
+           /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -299,7 +258,7 @@ std::vector<Scenario> corpus() {
                       "the primary sends conflicting PRE-PREPAREs (split "
                       "batches); no digest reaches quorum and the view "
                       "change removes it", 4);
-    s.strategies[0] = &reptor::make_equivocating_primary;
+    s.strategies[0] = "equivocating-primary";
     all.push_back(std::move(s));
   }
 
@@ -307,7 +266,7 @@ std::vector<Scenario> corpus() {
     Scenario s = base("f1-byz-silent-primary",
                       "the primary accepts requests but never proposes; "
                       "client broadcast retry arms the backup watchdogs", 4);
-    s.strategies[0] = &reptor::make_silent_primary;
+    s.strategies[0] = "silent-primary";
     all.push_back(std::move(s));
   }
 
@@ -316,7 +275,7 @@ std::vector<Scenario> corpus() {
                       "backup 1 garbles its authenticator MACs toward "
                       "even-numbered peers; partial-MAC votes must not "
                       "count toward quorums", 4);
-    s.strategies[1] = &reptor::make_corrupt_macs;
+    s.strategies[1] = "corrupt-macs";
     all.push_back(std::move(s));
   }
 
@@ -325,7 +284,7 @@ std::vector<Scenario> corpus() {
                       "backup 2 processes everything but sends nothing "
                       "(mute != crash: it still drains and acks at the "
                       "transport level)", 4);
-    s.strategies[2] = &reptor::make_mute;
+    s.strategies[2] = "mute";
     all.push_back(std::move(s));
   }
 
@@ -333,7 +292,7 @@ std::vector<Scenario> corpus() {
     Scenario s = base("f1-byz-replayer",
                       "backup 3 rebroadcasts recorded authentic frames; "
                       "vote sets and client dedup must be idempotent", 4);
-    s.strategies[3] = &reptor::make_replayer;
+    s.strategies[3] = "replayer";
     all.push_back(std::move(s));
   }
 
@@ -341,7 +300,72 @@ std::vector<Scenario> corpus() {
     Scenario s = base("f1-byz-stale-view-spam",
                       "backup 2 spams stale and premature VIEW-CHANGEs; a "
                       "lone voice stays below the f+1 join rule", 4);
-    s.strategies[2] = &reptor::make_stale_view_spammer;
+    s.strategies[2] = "stale-view-spammer";
+    all.push_back(std::move(s));
+  }
+
+  // ------------------------------------------ Byzantine *clients* -----
+  // The rogue-client axis: the replica group is honest, the attack comes
+  // from outside the BFT membership. Host n is an honest bystander whose
+  // traffic must stay correct and live throughout; host n+1 runs the
+  // adversarial ClientStrategy.
+  {
+    Scenario s = base("f1-byz-client-replayer",
+                      "client 1 sends every REQUEST twice and replays old "
+                      "recorded frames to all replicas (genuine MACs, stale "
+                      "ids); request dedup and reply caching must absorb "
+                      "every copy without double-execution", 4);
+    s.clients = 2;
+    s.client_strategies[1] = "client-replayer";
+    all.push_back(std::move(s));
+  }
+
+  {
+    Scenario s = base("f1-byz-client-forger",
+                      "client 1 pairs each genuine REQUEST with a wrong-MAC "
+                      "copy and an impersonation of another group identity; "
+                      "every forged frame must die at the replicas' MAC "
+                      "check (checker: no unissued bytes executed)", 4);
+    s.clients = 2;
+    s.client_strategies[1] = "client-forger";
+    all.push_back(std::move(s));
+  }
+
+  // ------------------------------- slow-but-correct vs the watchdog ---
+  {
+    // The false-positive side of failure detection: a correct primary
+    // that is merely *slow* must not be deposed as long as it stays
+    // inside the watchdog budget. The per-scenario test pins
+    // final_view == 0 — a view-change storm here is a watchdog tuning
+    // regression, not a liveness save.
+    Scenario s = base("f1-slow-primary",
+                      "every link to/from the primary carries 2ms extra "
+                      "delay from t=2ms (slow but honest); commits lag, the "
+                      "10ms watchdogs must NOT fire — no view change, no "
+                      "storm", 4);
+    s.events.push_back(
+        at(sim::milliseconds(2), "2ms delay on all primary links",
+           {FaultAction::extra_delay(0, 1, sim::milliseconds(2)),
+            FaultAction::extra_delay(0, 2, sim::milliseconds(2)),
+            FaultAction::extra_delay(0, 3, sim::milliseconds(2)),
+            FaultAction::extra_delay(0, 4, sim::milliseconds(2))},
+           /*clears=*/true));
+    all.push_back(std::move(s));
+  }
+
+  // ----------------------------------- mid-run strategy installs ------
+  {
+    // Runtime set_strategy(): the replica starts honest, turns coat at
+    // t=6ms (mute: keeps draining, stops voting), and the group of 3
+    // finishes without it.
+    Scenario s = base("f1-midrun-turncoat",
+                      "backup 2 runs honest until t=6ms, then a mid-run "
+                      "set_strategy() install mutes it; the remaining "
+                      "2f+1 keep committing without a view change", 4);
+    s.runtime_faulty = {2};
+    s.events.push_back(
+        at(sim::milliseconds(6), "install mute strategy on replica 2",
+           {FaultAction::set_strategy(2, "mute")}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -353,16 +377,14 @@ std::vector<Scenario> corpus() {
                       "view-change, the heal lets it catch up", 4);
     s.replica_cfg.pipelines = 2;
     s.lane_pool_threads = 2;
+    // Hosts 1..3 are replicas, 4 is the client: the primary's replies
+    // vanish too.
     s.events.push_back(at(sim::milliseconds(4), "block primary's sends",
-                          [](Lab& l) {
-                            // Hosts 1..3 are replicas, 4 is the client:
-                            // the primary's replies vanish too.
-                            for (std::uint32_t h = 1; h <= 4; ++h) {
-                              l.fabric().set_oneway_blocked(0, h, true);
-                            }
-                          }));
+                          {FaultAction::oneway(0, 1), FaultAction::oneway(0, 2),
+                           FaultAction::oneway(0, 3),
+                           FaultAction::oneway(0, 4)}));
     s.events.push_back(at(sim::milliseconds(24), "heal one-way blocks",
-                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+                          {FaultAction::heal()}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -375,16 +397,12 @@ std::vector<Scenario> corpus() {
     s.replica_cfg.pipelines = 2;
     s.lane_pool_threads = 2;
     s.events.push_back(at(sim::milliseconds(3), "block replica 3's sends",
-                          [](Lab& l) {
-                            for (std::uint32_t h = 0; h <= 4; ++h) {
-                              if (h != 3) {
-                                l.fabric().set_oneway_blocked(3, h, true);
-                              }
-                            }
-                          },
+                          {FaultAction::oneway(3, 0), FaultAction::oneway(3, 1),
+                           FaultAction::oneway(3, 2),
+                           FaultAction::oneway(3, 4)},
                           /*clears=*/true));
     s.events.push_back(at(sim::milliseconds(20), "heal one-way blocks",
-                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+                          {FaultAction::heal()}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -409,7 +427,7 @@ std::vector<Scenario> corpus() {
                       "followers reject at the MAC layer, suspend the fast "
                       "path, and the message path commits everything", 4);
     s.one_sided = true;
-    s.strategies[0] = abuse(reptor::FastPathAbuse::kForge);
+    s.strategies[0] = "fastpath-forge";
     all.push_back(std::move(s));
   }
 
@@ -420,7 +438,7 @@ std::vector<Scenario> corpus() {
                       "forever and agreement falls through to the message "
                       "path without a single fast commit", 4);
     s.one_sided = true;
-    s.strategies[0] = abuse(reptor::FastPathAbuse::kTorn);
+    s.strategies[0] = "fastpath-torn";
     all.push_back(std::move(s));
   }
 
@@ -431,7 +449,7 @@ std::vector<Scenario> corpus() {
                       "stale content; (seq, view) framing plus the executed "
                       "watermark make the replay invisible", 4);
     s.one_sided = true;
-    s.strategies[0] = abuse(reptor::FastPathAbuse::kReplay);
+    s.strategies[0] = "fastpath-replay";
     all.push_back(std::move(s));
   }
 
@@ -442,7 +460,7 @@ std::vector<Scenario> corpus() {
                       "keeps writing through the revoked grants; every "
                       "probe NAKs and view 1 commits the backlog", 4);
     s.one_sided = true;
-    s.strategies[0] = abuse(reptor::FastPathAbuse::kStaleRkey);
+    s.strategies[0] = "fastpath-stale-rkey";
     all.push_back(std::move(s));
   }
 
@@ -455,9 +473,9 @@ std::vector<Scenario> corpus() {
                       "the remaining 5 = 2f+1 keep committing", 7);
     s.runtime_faulty = {5, 6};
     s.events.push_back(at(sim::milliseconds(5), "crash replica 5",
-                          [](Lab& l) { crash(l, 5); }));
+                          {FaultAction::crash(5)}));
     s.events.push_back(at(sim::milliseconds(12), "crash replica 6",
-                          [](Lab& l) { crash(l, 6); }, /*clears=*/true));
+                          {FaultAction::crash(6)}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -466,10 +484,10 @@ std::vector<Scenario> corpus() {
                       "an equivocating primary AND a crashed backup "
                       "(f=2 mixed Byzantine/crash); view change must "
                       "succeed with only 5 cooperative replicas", 7);
-    s.strategies[0] = &reptor::make_equivocating_primary;
+    s.strategies[0] = "equivocating-primary";
     s.runtime_faulty = {6};
     s.events.push_back(at(sim::milliseconds(8), "crash replica 6",
-                          [](Lab& l) { crash(l, 6); }, /*clears=*/true));
+                          {FaultAction::crash(6)}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -479,12 +497,9 @@ std::vector<Scenario> corpus() {
                       "the majority keeps running, the minority catches up "
                       "via state transfer", 7);
     s.events.push_back(at(sim::milliseconds(5), "isolate replicas 5,6",
-                          [](Lab& l) {
-                            l.isolate(5);
-                            l.isolate(6);
-                          }));
+                          {FaultAction::isolate(5), FaultAction::isolate(6)}));
     s.events.push_back(at(sim::milliseconds(25), "heal partition",
-                          [](Lab& l) { l.heal_fabric(); }, /*clears=*/true));
+                          {FaultAction::heal()}, /*clears=*/true));
     all.push_back(std::move(s));
   }
 
@@ -498,11 +513,8 @@ std::vector<Scenario> corpus() {
     s.horizon = sim::milliseconds(600);
     s.runtime_faulty = {4, 5, 6};
     s.events.push_back(at(sim::milliseconds(3), "crash replicas 4,5,6",
-                          [](Lab& l) {
-                            crash(l, 4);
-                            crash(l, 5);
-                            crash(l, 6);
-                          }));
+                          {FaultAction::crash(4), FaultAction::crash(5),
+                           FaultAction::crash(6)}));
     all.push_back(std::move(s));
   }
 

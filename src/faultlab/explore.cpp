@@ -1,0 +1,562 @@
+#include "faultlab/explore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/audit.hpp"
+#include "common/rng.hpp"
+#include "faultlab/fault_file.hpp"
+
+namespace rubin::faultlab {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Hold-back applied by the kReorderRate perturbation when the artifact
+/// carries no explicit value (legacy lines).
+constexpr sim::Time kDefaultReorderHold = sim::microseconds(15);
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, std::string_view s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+/// splitmix64 — turns sweep ordinals into well-spread seeds.
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+FaultEvent onset_event(FaultAction a, const char* label) {
+  FaultEvent e;
+  e.label = label;
+  e.at = 0;
+  e.actions.push_back(std::move(a));
+  return e;
+}
+
+/// A delivery-order swap branch: delay decision point `index` so it
+/// lands just after the frame it raced with.
+struct SwapCandidate {
+  std::uint64_t index = 0;
+  sim::Time delay = 0;
+};
+
+/// Extracts commute-breaking pairs from a recorded baseline trace: two
+/// delivered frames into the same destination from different sources
+/// within `window` of each other. Delaying the earlier one past the
+/// later is the only reordering of the pair that can change anything —
+/// same-source frames stay FIFO per link and different-destination
+/// deliveries commute, so no branch is spawned for those (the DPOR cut).
+std::vector<SwapCandidate> swap_candidates(
+    std::vector<net::Fabric::FramePoint> trace, sim::Time window,
+    std::size_t limit) {
+  trace.erase(std::remove_if(trace.begin(), trace.end(),
+                             [](const net::Fabric::FramePoint& p) {
+                               return p.dropped;
+                             }),
+              trace.end());
+  std::sort(trace.begin(), trace.end(),
+            [](const net::Fabric::FramePoint& x,
+               const net::Fabric::FramePoint& y) {
+              return x.arrival != y.arrival ? x.arrival < y.arrival
+                                            : x.index < y.index;
+            });
+  std::vector<SwapCandidate> out;
+  for (std::size_t i = 0; i + 1 < trace.size() && out.size() < limit; ++i) {
+    const auto& a = trace[i];
+    const auto& b = trace[i + 1];
+    if (a.dst != b.dst || a.src == b.src) continue;
+    const sim::Time gap = b.arrival - a.arrival;
+    if (gap > window) continue;
+    out.push_back({a.index, gap + sim::microseconds(1)});
+  }
+  return out;
+}
+
+}  // namespace
+
+ScheduleResult Explorer::run_schedule(const Scenario& base,
+                                      std::vector<Perturbation> ps) {
+  Scenario s = base;
+  std::vector<std::pair<std::uint64_t, sim::Time>> frame_delays;
+  for (const Perturbation& p : ps) {
+    switch (p.kind) {
+      case Perturbation::Kind::kSeed:
+        s.seed = p.arg;
+        break;
+      case Perturbation::Kind::kDropRate:
+        s.events.push_back(
+            onset_event(FaultAction::drop_rate(p.rate), "explore: drop dice"));
+        break;
+      case Perturbation::Kind::kReorderRate:
+        s.events.push_back(onset_event(
+            FaultAction::reorder(p.rate, p.t > 0 ? p.t : kDefaultReorderHold),
+            "explore: reorder dice"));
+        break;
+      case Perturbation::Kind::kDuplicateRate:
+        s.events.push_back(onset_event(FaultAction::duplicate_rate(p.rate),
+                                       "explore: duplicate dice"));
+        break;
+      case Perturbation::Kind::kFrameDelay:
+        frame_delays.emplace_back(p.arg, p.t);
+        break;
+      case Perturbation::Kind::kEventJitter:
+        if (p.arg < s.events.size() && s.events[p.arg].at >= 0) {
+          sim::Time at = s.events[p.arg].at + p.t;
+          at = std::max<sim::Time>(at, 0);
+          at = std::min<sim::Time>(at, s.horizon - 1);
+          s.events[p.arg].at = at;
+        }
+        break;
+    }
+  }
+
+  Lab lab(std::move(s));
+  std::uint64_t trace = kFnvOffset;
+  lab.fabric().set_frame_probe([&trace](const net::Fabric::FramePoint& fp) {
+    trace = fnv1a(trace, &fp.src, sizeof(fp.src));
+    trace = fnv1a(trace, &fp.dst, sizeof(fp.dst));
+    trace = fnv1a(trace, &fp.payload_bytes, sizeof(fp.payload_bytes));
+    trace = fnv1a(trace, &fp.arrival, sizeof(fp.arrival));
+    const std::uint8_t dropped = fp.dropped ? 1 : 0;
+    trace = fnv1a(trace, &dropped, sizeof(dropped));
+  });
+  for (const auto& [index, extra] : frame_delays) {
+    lab.fabric().set_frame_extra_delay(index, extra);
+  }
+
+  ScheduleResult out;
+  out.perturbations = std::move(ps);
+  out.report = lab.run();
+  lab.fabric().set_frame_probe(nullptr);
+  lab.fabric().clear_frame_extra_delays();
+  out.trace_digest = trace;
+  out.violation = !out.report.passed();
+  // The key separates executions, not just frame traces: mix in the
+  // commit digest (different commit orders behind an identical wire
+  // trace stay distinct) and the verdict bits (a violation never dedups
+  // against a pass).
+  std::uint64_t key = trace;
+  key = fnv1a(key, &out.report.verdict.commit_digest,
+              sizeof(out.report.verdict.commit_digest));
+  const std::uint8_t bits =
+      static_cast<std::uint8_t>((out.report.verdict.safe ? 1 : 0) |
+                                (out.report.verdict.no_forgery ? 2 : 0) |
+                                (out.report.verdict.live ? 4 : 0));
+  key = fnv1a(key, &bits, sizeof(bits));
+  out.schedule_key = key;
+  RUBIN_AUDIT_COUNT("faultlab.explore.runs", 1);
+  return out;
+}
+
+ScheduleResult Explorer::minimize(const Scenario& base,
+                                  ScheduleResult failing,
+                                  std::uint64_t* minimization_runs) {
+  std::uint64_t spent = 0;
+  const auto try_schedule = [&](std::vector<Perturbation> ps,
+                                ScheduleResult& into) {
+    ++spent;
+    ScheduleResult r = run_schedule(base, std::move(ps));
+    if (r.violation) {
+      into = std::move(r);
+      return true;
+    }
+    return false;
+  };
+
+  // Phase 1: drop perturbations (greedy ddmin — the sets are small).
+  // Restart the scan after every successful removal so later survivors
+  // get re-tested against the shrunken context.
+  bool changed = true;
+  while (changed && failing.perturbations.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < failing.perturbations.size(); ++i) {
+      std::vector<Perturbation> trial = failing.perturbations;
+      trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+      if (try_schedule(std::move(trial), failing)) {
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Phase 2: shrink magnitudes — halve rates and delays toward zero
+  // while the violation persists (seeds and indices are not scalar).
+  for (std::size_t i = 0; i < failing.perturbations.size(); ++i) {
+    for (int round = 0; round < 6; ++round) {
+      std::vector<Perturbation> trial = failing.perturbations;
+      Perturbation& p = trial[i];
+      bool shrunk = false;
+      if (p.rate > 0.001) {
+        p.rate /= 2.0;
+        shrunk = true;
+      }
+      if (p.kind != Perturbation::Kind::kEventJitter &&
+          p.t > sim::microseconds(1)) {
+        p.t /= 2;
+        shrunk = true;
+      }
+      if (!shrunk || !try_schedule(std::move(trial), failing)) break;
+    }
+  }
+
+  if (minimization_runs != nullptr) *minimization_runs += spent;
+  return failing;
+}
+
+ExploreReport Explorer::explore(const Scenario& base) {
+  ExploreReport rep;
+  rep.scenario = base.name;
+
+  std::set<std::uint64_t> seen;
+  std::uint32_t left = opts_.budget;
+  const auto admit = [&](ScheduleResult r) {
+    ++rep.runs;
+    if (!seen.insert(r.schedule_key).second) {
+      ++rep.dedup_hits;
+      RUBIN_AUDIT_COUNT("faultlab.explore.dedup_hits", 1);
+      return;
+    }
+    ++rep.unique_schedules;
+    if (r.violation) {
+      ++rep.violations;
+      RUBIN_AUDIT_COUNT("faultlab.explore.violations", 1);
+      if (opts_.minimize) {
+        r = minimize(base, std::move(r), &rep.minimization_runs);
+      }
+      rep.failures.push_back(std::move(r));
+    }
+  };
+  const auto spend = [&](std::vector<Perturbation> ps) {
+    if (left == 0) return false;
+    --left;
+    admit(run_schedule(base, std::move(ps)));
+    return left > 0;
+  };
+
+  // Baseline: the unperturbed schedule, with its full trace recorded —
+  // the swap branches come from the decision points it actually visited.
+  std::vector<net::Fabric::FramePoint> baseline_trace;
+  {
+    Scenario s = base;
+    Lab lab(std::move(s));
+    std::uint64_t trace = kFnvOffset;
+    lab.fabric().set_frame_probe(
+        [&](const net::Fabric::FramePoint& fp) {
+          baseline_trace.push_back(fp);
+          trace = fnv1a(trace, &fp.src, sizeof(fp.src));
+          trace = fnv1a(trace, &fp.dst, sizeof(fp.dst));
+          trace = fnv1a(trace, &fp.payload_bytes, sizeof(fp.payload_bytes));
+          trace = fnv1a(trace, &fp.arrival, sizeof(fp.arrival));
+          const std::uint8_t dropped = fp.dropped ? 1 : 0;
+          trace = fnv1a(trace, &dropped, sizeof(dropped));
+        });
+    ScheduleResult r;
+    r.report = lab.run();
+    lab.fabric().set_frame_probe(nullptr);
+    r.trace_digest = trace;
+    r.violation = !r.report.passed();
+    std::uint64_t key = trace;
+    key = fnv1a(key, &r.report.verdict.commit_digest,
+                sizeof(r.report.verdict.commit_digest));
+    const std::uint8_t bits =
+        static_cast<std::uint8_t>((r.report.verdict.safe ? 1 : 0) |
+                                  (r.report.verdict.no_forgery ? 2 : 0) |
+                                  (r.report.verdict.live ? 4 : 0));
+    key = fnv1a(key, &bits, sizeof(bits));
+    r.schedule_key = key;
+    rep.baseline_trace = trace;
+    rep.baseline_commit = r.report.verdict.commit_digest;
+    RUBIN_AUDIT_COUNT("faultlab.explore.runs", 1);
+    if (left > 0) {
+      --left;
+      admit(std::move(r));
+    }
+  }
+
+  // Axis 1 — fault-RNG seed sweep: same schedule skeleton, different
+  // dice. Any seed-dependent invariant break surfaces here.
+  for (std::uint32_t k = 1; k <= opts_.seed_sweeps && left > 0; ++k) {
+    if (!spend({Perturbation::seed(splitmix(base.seed + k))})) break;
+  }
+
+  // Axis 2 — extra fault dice at conservative magnitudes (large enough
+  // to branch the schedule, small enough that an honest protocol under
+  // an in-envelope scenario must still pass).
+  std::vector<Perturbation> dice;
+  for (const double p : {0.005, 0.01, 0.02}) dice.push_back(Perturbation::drop(p));
+  for (const double p : {0.05, 0.15, 0.30}) {
+    dice.push_back(Perturbation::reorder(p, kDefaultReorderHold));
+  }
+  for (const double p : {0.05, 0.15, 0.30}) {
+    dice.push_back(Perturbation::duplicate(p));
+  }
+  for (const Perturbation& p : dice) {
+    if (left == 0 || !spend({p})) break;
+  }
+
+  // Axis 3 — fault-action timing jitter: each timed event slides a
+  // little early and a little late, crossing protocol phase boundaries
+  // (batch flush, view-change arm, checkpoint) it sat next to.
+  for (std::size_t i = 0; i < base.events.size() && left > 0; ++i) {
+    if (base.events[i].at < 0) continue;
+    for (const sim::Time d :
+         {-sim::milliseconds(2), -sim::microseconds(500),
+          sim::microseconds(500), sim::milliseconds(2)}) {
+      if (!spend({Perturbation::event_jitter(i, d)})) break;
+    }
+  }
+
+  // Axis 4 — delivery-order swaps at the baseline's commute-breaking
+  // decision points.
+  const std::vector<SwapCandidate> swaps = swap_candidates(
+      std::move(baseline_trace), opts_.swap_window, opts_.swap_limit);
+  for (const SwapCandidate& c : swaps) {
+    if (left == 0 ||
+        !spend({Perturbation::frame_delay(c.index, c.delay)})) {
+      break;
+    }
+  }
+
+  // Axis 5 — seeded pair combos until the budget runs dry: two single
+  // -axis perturbations composed, drawn deterministically so a re-run
+  // explores the identical schedule set.
+  std::vector<Perturbation> pool = dice;
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    pool.push_back(Perturbation::seed(splitmix(base.seed + k)));
+  }
+  for (std::size_t i = 0; i < swaps.size() && i < 32; ++i) {
+    pool.push_back(Perturbation::frame_delay(swaps[i].index, swaps[i].delay));
+  }
+  for (std::size_t i = 0; i < base.events.size(); ++i) {
+    if (base.events[i].at < 0) continue;
+    pool.push_back(Perturbation::event_jitter(i, sim::microseconds(500)));
+    pool.push_back(Perturbation::event_jitter(i, -sim::microseconds(500)));
+  }
+  if (pool.size() >= 2) {
+    Rng combo(opts_.rng_seed ^ fnv1a_str(kFnvOffset, base.name));
+    while (left > 0) {
+      const std::size_t i = combo.next_below(pool.size());
+      std::size_t j = combo.next_below(pool.size() - 1);
+      if (j >= i) ++j;
+      if (!spend({pool[i], pool[j]})) break;
+    }
+  }
+  return rep;
+}
+
+// ------------------------------------------------- replayable artifacts --
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+[[noreturn]] void afail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("artifact line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+}  // namespace
+
+std::string to_artifact_text(const Scenario& base, const ScheduleResult& r) {
+  std::string out = "# faultexplore failing schedule (replay with "
+                    "`faultexplore --replay <this file>`)\n";
+  out += to_fault_text(base);
+  for (const Perturbation& p : r.perturbations) {
+    switch (p.kind) {
+      case Perturbation::Kind::kSeed:
+        out += "perturb seed " + std::to_string(p.arg) + "\n";
+        break;
+      case Perturbation::Kind::kDropRate:
+        out += "perturb drop_rate " + num(p.rate) + "\n";
+        break;
+      case Perturbation::Kind::kReorderRate:
+        out += "perturb reorder_rate " + num(p.rate) + " " +
+               num(static_cast<double>(p.t) / 1e3) + "\n";
+        break;
+      case Perturbation::Kind::kDuplicateRate:
+        out += "perturb duplicate_rate " + num(p.rate) + "\n";
+        break;
+      case Perturbation::Kind::kFrameDelay:
+        out += "perturb frame_delay " + std::to_string(p.arg) + " " +
+               num(static_cast<double>(p.t) / 1e3) + "\n";
+        break;
+      case Perturbation::Kind::kEventJitter:
+        out += "perturb event_jitter " + std::to_string(p.arg) + " " +
+               num(static_cast<double>(p.t) / 1e6) + "\n";
+        break;
+    }
+  }
+  out += "expect trace " + hex64(r.trace_digest) + "\n";
+  out += "expect commit " + hex64(r.report.verdict.commit_digest) + "\n";
+  return out;
+}
+
+Artifact parse_artifact_text(std::string_view text) {
+  // Split: the scenario block (first `scenario` line through its `end`)
+  // goes to the `.fault` parser; everything after is perturb/expect.
+  Artifact art;
+  std::string scenario_text;
+  bool in_scenario = false;
+  bool have_scenario = false;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    std::istringstream is{std::string(line)};
+    std::string kw;
+    is >> kw;
+    if (kw.empty() || kw[0] == '#') {
+      if (in_scenario) scenario_text += std::string(line) + "\n";
+      continue;
+    }
+
+    if (!have_scenario) {
+      if (!in_scenario) {
+        if (kw != "scenario") {
+          afail(line_no, "expected the scenario block first");
+        }
+        in_scenario = true;
+      }
+      scenario_text += std::string(line) + "\n";
+      if (kw == "end") {
+        in_scenario = false;
+        have_scenario = true;
+      }
+      continue;
+    }
+
+    if (kw == "perturb") {
+      std::string what;
+      is >> what;
+      const auto want = [&](int n) {
+        std::vector<double> vals;
+        double v = 0.0;
+        while (static_cast<int>(vals.size()) < n && (is >> v)) {
+          vals.push_back(v);
+        }
+        if (static_cast<int>(vals.size()) != n || (is >> v)) {
+          afail(line_no, "'" + what + "' takes " + std::to_string(n) +
+                             " argument(s)");
+        }
+        return vals;
+      };
+      if (what == "seed") {
+        // Full 64-bit value: must not round-trip through double.
+        std::string tok, extra;
+        is >> tok;
+        if (tok.empty() || (is >> extra)) {
+          afail(line_no, "'seed' takes 1 argument");
+        }
+        std::uint64_t v = 0;
+        try {
+          std::size_t p = 0;
+          v = std::stoull(tok, &p);
+          if (p != tok.size()) throw std::invalid_argument(tok);
+        } catch (const std::exception&) {
+          afail(line_no, "bad seed '" + tok + "'");
+        }
+        art.perturbations.push_back(Perturbation::seed(v));
+      } else if (what == "drop_rate") {
+        art.perturbations.push_back(Perturbation::drop(want(1)[0]));
+      } else if (what == "reorder_rate") {
+        const auto v = want(2);
+        art.perturbations.push_back(Perturbation::reorder(
+            v[0], static_cast<sim::Time>(std::llround(v[1] * 1e3))));
+      } else if (what == "duplicate_rate") {
+        art.perturbations.push_back(Perturbation::duplicate(want(1)[0]));
+      } else if (what == "frame_delay") {
+        const auto v = want(2);
+        if (v[0] < 0) afail(line_no, "negative decision-point index");
+        art.perturbations.push_back(Perturbation::frame_delay(
+            static_cast<std::uint64_t>(v[0]),
+            static_cast<sim::Time>(std::llround(v[1] * 1e3))));
+      } else if (what == "event_jitter") {
+        const auto v = want(2);
+        if (v[0] < 0) afail(line_no, "negative event index");
+        art.perturbations.push_back(Perturbation::event_jitter(
+            static_cast<std::uint64_t>(v[0]),
+            static_cast<sim::Time>(std::llround(v[1] * 1e6))));
+      } else {
+        afail(line_no, "unknown perturbation '" + what + "'");
+      }
+    } else if (kw == "expect") {
+      std::string what, hex;
+      is >> what >> hex;
+      std::uint64_t v = 0;
+      try {
+        v = std::stoull(hex, nullptr, 16);
+      } catch (const std::exception&) {
+        afail(line_no, "bad digest '" + hex + "'");
+      }
+      if (what == "trace") {
+        art.trace_digest = v;
+      } else if (what == "commit") {
+        art.commit_digest = v;
+      } else {
+        afail(line_no, "unknown expectation '" + what + "'");
+      }
+    } else {
+      afail(line_no, "unknown directive '" + kw + "'");
+    }
+  }
+
+  if (!have_scenario) afail(line_no, "artifact has no scenario block");
+  auto scenarios = parse_fault_text(scenario_text);
+  if (scenarios.size() != 1) {
+    afail(line_no, "artifact must hold exactly one scenario");
+  }
+  art.scenario = std::move(scenarios[0]);
+  return art;
+}
+
+Artifact load_artifact(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::invalid_argument("cannot open artifact: " + path);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_artifact_text(text);
+}
+
+}  // namespace rubin::faultlab

@@ -1,0 +1,63 @@
+// The `.fault` text format: FaultLab scenarios as data.
+//
+// A file holds one or more `scenario <name> ... end` blocks. Inside a
+// block, scalar keys set the group shape and protocol knobs, `strategy`
+// / `client_strategy` name config-time adversaries by registry name, and
+// event lines schedule data FaultActions:
+//
+//   scenario f1-crash-backup
+//     describe backup 3 crash-stops at t=4ms
+//     n 4
+//     clients 1
+//     requests 25
+//     gap_us 500
+//     seed 23557
+//     runtime_faulty 3
+//     at_ms 4 crash 3 clears
+//   end
+//
+// Event lines are `at_ms <t> <clause> [; <clause>]... [clears]` (fire at
+// a virtual instant) or `after <k> <clause>... [clears]` (fire once k
+// requests have completed). Clauses are the FaultAction vocabulary:
+//   crash <r>                    set_strategy <r> <name>
+//   drop_rate <p>                corrupt_rate <p>
+//   duplicate_rate <p>           reorder <p> <hold_us>
+//   pair_drop <a> <b> <p>        extra_delay <a> <b> <us>
+//   oneway <src> <dst>           isolate <host>
+//   heal                         nic_stall <host> <ms>
+//   qp_errors <host>
+// `#` starts a comment. The parser mirrors PopLab's `.pop` loader: fail
+// with the offending line number, reject trailing junk in numbers,
+// validate host ids against the declared group shape, reject instants
+// at/after the horizon and duplicate scenario names.
+//
+// The writer (`to_fault_text`) is the inverse: any Scenario whose events
+// are data-only (Scenario::serializable()) round-trips losslessly —
+// same verdict, same commit digest on replay. The explorer leans on this
+// to emit failing schedules as replayable artifacts.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faultlab/scenario.hpp"
+
+namespace rubin::faultlab {
+
+/// Parses `.fault` text into scenarios (order preserved). Throws
+/// std::invalid_argument with a line number on any malformed input.
+std::vector<Scenario> parse_fault_text(std::string_view text);
+
+/// Reads and parses a `.fault` file. Throws std::invalid_argument when
+/// the file cannot be opened or fails to parse.
+std::vector<Scenario> load_fault_file(const std::string& path);
+
+/// Serializes one scenario to `.fault` text. Throws std::invalid_argument
+/// when the scenario is not serializable (closure events).
+std::string to_fault_text(const Scenario& s);
+
+/// Serializes a whole corpus (each scenario must be serializable).
+std::string to_fault_text(const std::vector<Scenario>& scenarios);
+
+}  // namespace rubin::faultlab

@@ -1,11 +1,62 @@
 #include "faultlab/lab.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "common/codec.hpp"
 
 namespace rubin::faultlab {
+
+void FaultAction::apply(Lab& lab) const {
+  switch (kind) {
+    case Kind::kCrash:
+      lab.replica(a).inject_crash();
+      return;
+    case Kind::kSetStrategy: {
+      auto strategy = reptor::make_strategy_by_name(name);
+      if (!strategy) {
+        throw std::invalid_argument("unknown replica strategy: " + name);
+      }
+      lab.replica(a).set_strategy(std::move(strategy));
+      return;
+    }
+    case Kind::kDropRate:
+      lab.fabric().set_drop_rate(rate);
+      return;
+    case Kind::kCorruptRate:
+      lab.fabric().set_corrupt_rate(rate);
+      return;
+    case Kind::kDuplicateRate:
+      lab.fabric().set_duplicate_rate(rate);
+      return;
+    case Kind::kReorder:
+      lab.fabric().set_reorder_delay(t);
+      lab.fabric().set_reorder_rate(rate);
+      return;
+    case Kind::kPairDrop:
+      lab.fabric().set_pair_drop_rate(a, b, rate);
+      return;
+    case Kind::kExtraDelay:
+      lab.fabric().set_extra_delay(a, b, t);
+      return;
+    case Kind::kOneway:
+      lab.fabric().set_oneway_blocked(a, b, true);
+      return;
+    case Kind::kIsolate:
+      lab.isolate(a);
+      return;
+    case Kind::kHeal:
+      lab.heal_fabric();
+      return;
+    case Kind::kNicStall:
+      if (lab.harness().has_devices()) lab.device(a).inject_nic_stall(t);
+      return;
+    case Kind::kQpErrors:
+      if (lab.harness().has_devices()) lab.device(a).inject_qp_errors();
+      return;
+  }
+}
 
 Lab::Lab(Scenario scenario, reptor::Backend backend)
     : scenario_(std::move(scenario)), backend_(backend) {
@@ -21,7 +72,11 @@ Lab::Lab(Scenario scenario, reptor::Backend backend)
   std::vector<bool> correct(scenario_.n, true);
   for (const auto& [id, mk] : scenario_.strategies) correct.at(id) = false;
   for (reptor::NodeId id : scenario_.runtime_faulty) correct.at(id) = false;
-  checker_.emplace(std::move(correct));
+  std::set<reptor::NodeId> byz_clients;
+  for (const auto& [ordinal, mk] : scenario_.client_strategies) {
+    byz_clients.insert(static_cast<reptor::NodeId>(scenario_.n + ordinal));
+  }
+  checker_.emplace(std::move(correct), std::move(byz_clients));
 
   fired_.assign(scenario_.events.size(), false);
   expected_ =
@@ -76,6 +131,7 @@ sim::Task<void> Lab::client_driver(reptor::Client& client,
 }
 
 void Lab::fire(FaultEvent& e) {
+  for (const FaultAction& a : e.actions) a.apply(*this);
   if (e.action) e.action(*this);
   if (e.clears_faults) {
     checker_->restart_recovery_clock(harness_->sim().now());
@@ -89,11 +145,17 @@ sim::Task<void> Lab::predicate_watcher() {
     for (std::size_t i = 0; i < scenario_.events.size(); ++i) {
       FaultEvent& e = scenario_.events[i];
       if (fired_[i] || e.at >= 0) continue;
-      if (!e.when) {  // malformed event: no trigger at all — drop it
+      // Data trigger first, then the custom predicate.
+      bool ready = false;
+      if (e.after_completions > 0) {
+        ready = completions_ >= e.after_completions;
+      } else if (e.when) {
+        ready = e.when(*this);
+      } else {  // malformed event: no trigger at all — drop it
         fired_[i] = true;
         continue;
       }
-      if (e.when(*this)) {
+      if (ready) {
         fired_[i] = true;
         fire(e);
       } else {
@@ -111,6 +173,9 @@ Report Lab::run() {
   sim::Simulator& sim = harness_->sim();
   net::Fabric& fab = harness_->fabric();
   fab.reseed_faults(scenario_.seed);
+  // Decision-point indices (explorer perturbations) count from the run's
+  // first frame, not the fabric's construction.
+  fab.reset_frame_counter();
   const std::uint64_t dropped0 = fab.frames_dropped();
   const std::uint64_t corrupted0 = fab.frames_corrupted();
   const std::uint64_t duplicated0 = fab.frames_duplicated();
@@ -122,7 +187,11 @@ Report Lab::run() {
     reptor::ReplicaConfig cfg = scenario_.replica_cfg;
     if (const auto it = scenario_.strategies.find(r);
         it != scenario_.strategies.end()) {
-      cfg.strategy = it->second();
+      cfg.strategy = reptor::make_strategy_by_name(it->second);
+      if (!cfg.strategy) {
+        throw std::invalid_argument("unknown replica strategy: " +
+                                    it->second);
+      }
     }
     reptor::Replica& rep = harness_->add_replica(r, cfg);
     rep.set_commit_observer(
@@ -136,6 +205,14 @@ Report Lab::run() {
   for (std::uint32_t c = 0; c < scenario_.clients; ++c) {
     const auto self = static_cast<reptor::NodeId>(scenario_.n + c);
     reptor::Client& client = harness_->add_client(self, scenario_.client_cfg);
+    if (const auto it = scenario_.client_strategies.find(c);
+        it != scenario_.client_strategies.end()) {
+      auto strategy = reptor::make_client_strategy_by_name(it->second);
+      if (!strategy) {
+        throw std::invalid_argument("unknown client strategy: " + it->second);
+      }
+      client.set_strategy(std::move(strategy));
+    }
     sim.spawn(client_driver(client, self, scenario_.requests, c + 1));
   }
 

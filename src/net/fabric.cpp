@@ -32,12 +32,20 @@ std::optional<Fabric::TxPlan> Fabric::plan_transmit(HostId src, HostId dst,
       loss = 1.0 - (1.0 - loss) * (1.0 - it->second);
     }
   }
+  // Every call is one schedule decision point, dropped or not — the
+  // explorer's perturbation indices must stay stable when a perturbation
+  // turns a delivery into a drop.
+  const std::uint64_t frame_index = frame_seq_++;
+
   // Partition/one-way checks are pure map lookups — they consume no RNG,
   // so arming them never perturbs the drop sequences pinned tests replay.
   if (is_partitioned(src, dst) || is_oneway_blocked(src, dst) ||
       (loss > 0.0 && drop_rng_.chance(loss))) {
     ++frames_dropped_;
     stats::counter_add("fabric.frames_dropped");
+    if (frame_probe_) {
+      frame_probe_(FramePoint{frame_index, src, dst, payload_bytes, 0, true});
+    }
     return std::nullopt;
   }
 
@@ -59,23 +67,29 @@ std::optional<Fabric::TxPlan> Fabric::plan_transmit(HostId src, HostId dst,
   TxPlan plan;
   // Each fault die only rolls when its rate is armed, so fault-free runs
   // replay bit-identically whether or not this code exists.
-  if (corrupt_rate_ > 0.0 && fault_rng_.chance(corrupt_rate_)) {
+  if (corrupt_rate_ > 0.0 && corrupt_rng_.chance(corrupt_rate_)) {
     plan.fault.corrupt = true;
-    plan.fault.corrupt_offset = static_cast<std::uint32_t>(fault_rng_.next());
+    plan.fault.corrupt_offset = static_cast<std::uint32_t>(corrupt_rng_.next());
     plan.fault.corrupt_mask =
-        static_cast<std::uint8_t>(fault_rng_.next_in(1, 255));
+        static_cast<std::uint8_t>(corrupt_rng_.next_in(1, 255));
     ++frames_corrupted_;
     stats::counter_add("fabric.frames_corrupted");
   }
-  if (reorder_rate_ > 0.0 && fault_rng_.chance(reorder_rate_)) {
+  if (reorder_rate_ > 0.0 && reorder_rng_.chance(reorder_rate_)) {
     // Holding this frame back past its successors' arrivals is what
     // reordering *is* on a store-and-forward network.
     arrival += reorder_delay_;
     ++frames_reordered_;
     stats::counter_add("fabric.frames_reordered");
   }
+  // Targeted per-decision-point delay (explorer delivery-order swaps).
+  if (!frame_delay_.empty()) {
+    if (auto it = frame_delay_.find(frame_index); it != frame_delay_.end()) {
+      arrival += it->second;
+    }
+  }
   plan.arrival = arrival;
-  if (duplicate_rate_ > 0.0 && fault_rng_.chance(duplicate_rate_)) {
+  if (duplicate_rate_ > 0.0 && duplicate_rng_.chance(duplicate_rate_)) {
     // The ghost copy trails the original by a propagation delay, as if a
     // switch replayed it.
     plan.dup_arrival = arrival + cost_.propagation + 1;
@@ -84,6 +98,10 @@ std::optional<Fabric::TxPlan> Fabric::plan_transmit(HostId src, HostId dst,
   }
 
   ++frames_delivered_;
+  if (frame_probe_) {
+    frame_probe_(
+        FramePoint{frame_index, src, dst, payload_bytes, plan.arrival, false});
+  }
   return plan;
 }
 
@@ -119,6 +137,23 @@ void Fabric::set_extra_delay(HostId a, HostId b, sim::Time delay) {
   extra_delay_[ordered(a, b)] = delay;
 }
 
-void Fabric::reseed_faults(std::uint64_t seed) { fault_rng_ = Rng(seed); }
+void Fabric::reseed_faults(std::uint64_t seed) {
+  // Per-kind streams from one scenario seed: splitmix-style derivation so
+  // neighbouring seeds do not produce correlated dice. Reseeding covers
+  // the drop stream too — a scenario seed sweep must actually sweep the
+  // loss schedule, not replay whatever the default stream had left.
+  drop_rng_ = Rng(seed);
+  corrupt_rng_ = Rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  duplicate_rng_ = Rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
+  reorder_rng_ = Rng(seed ^ 0x165667b19e3779f9ULL);
+}
+
+void Fabric::set_frame_extra_delay(std::uint64_t index, sim::Time extra) {
+  if (extra == 0) {
+    frame_delay_.erase(index);
+  } else {
+    frame_delay_[index] = extra;
+  }
+}
 
 }  // namespace rubin::net

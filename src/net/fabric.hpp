@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <type_traits>
@@ -135,8 +136,39 @@ class Fabric {
   /// it lands behind later-sent frames (0 disables).
   void set_reorder_rate(double p) { reorder_rate_ = p; }
   void set_reorder_delay(sim::Time d) { reorder_delay_ = d; }
-  /// Reseeds the fault dice (FaultLab scenario replays pin this).
+  /// Reseeds every fault die (FaultLab scenario replays pin this). Each
+  /// fault kind gets its own stream derived from `seed`, so sweeping one
+  /// kind's probability can never shift another kind's schedule.
   void reseed_faults(std::uint64_t seed);
+
+  // ------------------------------------------- schedule decision points --
+  /// Every plan_transmit call is one fabric decision point, numbered in
+  /// transmit order from 0. The explorer records the sequence through the
+  /// probe and perturbs individual points through per-index extra delays
+  /// (a delay that pushes frame i past frame j's arrival is exactly a
+  /// delivery-order swap at their shared destination).
+  struct FramePoint {
+    std::uint64_t index = 0;
+    HostId src = 0;
+    HostId dst = 0;
+    std::size_t payload_bytes = 0;
+    /// Delivery instant; meaningless when `dropped`.
+    sim::Time arrival = 0;
+    bool dropped = false;
+  };
+  using FrameProbe = std::function<void(const FramePoint&)>;
+  /// Observes every decision point (empty function disables). Probe cost
+  /// is one branch when unset — benches never pay for it.
+  void set_frame_probe(FrameProbe probe) { frame_probe_ = std::move(probe); }
+  /// Adds `extra` to the arrival of the decision point numbered `index`
+  /// (transmit order, counted from the last reset_frame_counter). Applied
+  /// after all other delays; dropped frames still consume their index.
+  void set_frame_extra_delay(std::uint64_t index, sim::Time extra);
+  void clear_frame_extra_delays() { frame_delay_.clear(); }
+  /// Restarts decision-point numbering (a Lab run calls this so indices
+  /// are relative to the run, not the fabric's construction).
+  void reset_frame_counter() { frame_seq_ = 0; }
+  std::uint64_t frame_counter() const noexcept { return frame_seq_; }
 
   // ------------------------------------------------------------- stats ---
   std::uint64_t frames_delivered() const noexcept { return frames_delivered_; }
@@ -179,10 +211,17 @@ class Fabric {
   double duplicate_rate_ = 0.0;
   double reorder_rate_ = 0.0;
   sim::Time reorder_delay_ = sim::microseconds(5);
+  /// One stream per fault kind: arming (or sweeping the probability of)
+  /// any one kind must never perturb another kind's schedule — the
+  /// explorer relies on perturbations being independent axes, and the
+  /// determinism test pins it.
   Rng drop_rng_{0x5eedF00dULL};
-  /// Separate stream for the corrupt/duplicate/reorder dice so enabling
-  /// them never perturbs the drop sequence existing tests pin.
-  Rng fault_rng_{0xFA017F00dULL};
+  Rng corrupt_rng_{0xFA017F00dULL};
+  Rng duplicate_rng_{0xFA017F00dULL ^ 0x9e3779b97f4a7c15ULL};
+  Rng reorder_rng_{0xFA017F00dULL ^ 0xc2b2ae3d27d4eb4fULL};
+  std::uint64_t frame_seq_ = 0;
+  std::map<std::uint64_t, sim::Time> frame_delay_;
+  FrameProbe frame_probe_;
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_corrupted_ = 0;

@@ -278,4 +278,26 @@ std::shared_ptr<ByzantineStrategy> make_strategy(FaultMode mode) {
   return nullptr;
 }
 
+std::shared_ptr<ByzantineStrategy> make_strategy_by_name(
+    const std::string& name) {
+  if (name == "crash") return make_crash();
+  if (name == "silent-primary") return make_silent_primary();
+  if (name == "equivocating-primary") return make_equivocating_primary();
+  if (name == "corrupt-macs") return make_corrupt_macs();
+  if (name == "mute") return make_mute();
+  if (name == "replayer") return make_replayer();
+  if (name == "stale-view-spammer") return make_stale_view_spammer();
+  if (name == "fastpath-forge") {
+    return make_fastpath_abuser(FastPathAbuse::kForge);
+  }
+  if (name == "fastpath-torn") return make_fastpath_abuser(FastPathAbuse::kTorn);
+  if (name == "fastpath-replay") {
+    return make_fastpath_abuser(FastPathAbuse::kReplay);
+  }
+  if (name == "fastpath-stale-rkey") {
+    return make_fastpath_abuser(FastPathAbuse::kStaleRkey);
+  }
+  return nullptr;
+}
+
 }  // namespace rubin::reptor

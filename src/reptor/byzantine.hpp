@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "reptor/replica.hpp"
@@ -121,5 +122,15 @@ enum class FastPathAbuse {
   kStaleRkey,  // once deposed, keeps writing through the revoked grant
 };
 std::shared_ptr<ByzantineStrategy> make_fastpath_abuser(FastPathAbuse mode);
+
+/// Builds a fresh strategy by its registry name — the name() string each
+/// strategy reports: "crash", "silent-primary", "equivocating-primary",
+/// "corrupt-macs", "mute", "replayer", "stale-view-spammer",
+/// "fastpath-forge", "fastpath-torn", "fastpath-replay",
+/// "fastpath-stale-rkey". Returns nullptr for an unknown name. This is
+/// what makes scenarios *data*: a `.fault` file stores the name, the Lab
+/// builds a fresh instance per run.
+std::shared_ptr<ByzantineStrategy> make_strategy_by_name(
+    const std::string& name);
 
 }  // namespace rubin::reptor

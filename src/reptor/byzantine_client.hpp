@@ -1,0 +1,67 @@
+// Pluggable Byzantine behaviours for the Reptor *client* (FaultLab).
+//
+// The replica side has had a strategy seam since PR 4; this is the
+// client-side twin. A ClientStrategy intercepts every outbound REQUEST
+// frame right before it hits the transport, so one honest client
+// implementation hosts the whole rogue-client bestiary: duplicated and
+// replayed requests (testing protocol dedup), forged requests with
+// garbled authenticators, and impersonations of other clients (both must
+// die at the replicas' MAC check — the FaultLab checker's forgery rule
+// is the oracle that proves none reached execution).
+//
+// Determinism contract: same as ByzantineStrategy — behaviour derives
+// only from the hook arguments and the strategy's own state, fresh
+// instance per run, no wall clock, no unseeded randomness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/shared_bytes.hpp"
+#include "reptor/client.hpp"
+#include "reptor/messages.hpp"
+
+namespace rubin::reptor {
+
+/// Everything a client strategy may touch, handed to each hook.
+struct ClientEnv {
+  sim::Simulator& sim;
+  const KeyTable& keys;
+  const ClientConfig& cfg;
+};
+
+class ClientStrategy {
+ public:
+  virtual ~ClientStrategy() = default;
+  virtual const char* name() const noexcept = 0;
+
+  /// Called for every outbound REQUEST frame (primary sends, broadcast
+  /// retries, read-only fans). `frame` is a private copy — mutate it
+  /// freely. Return false to suppress the send entirely. Push (peer,
+  /// frame) pairs onto `extra` to emit additional traffic after it.
+  virtual bool on_send(ClientEnv& env, NodeId peer, SharedBytes& frame,
+                       std::vector<std::pair<NodeId, SharedBytes>>& extra) = 0;
+};
+
+/// Re-sends: every frame goes out twice, and every few sends a recorded
+/// earlier frame is replayed verbatim (genuine MACs, stale content).
+/// Replica-side request dedup and reply caching must absorb all of it.
+std::shared_ptr<ClientStrategy> make_client_replayer();
+
+/// Forges: alongside each genuine send, emits (a) a copy with a garbled
+/// authenticator block and (b) an impersonation — the same request
+/// re-labelled as coming from another client, MACed with the forger's
+/// own keys. Both must fail verification at every replica; the checker
+/// proves no forged bytes were ever executed.
+std::shared_ptr<ClientStrategy> make_client_forger();
+
+/// Looks up a client strategy by its registry name ("client-replayer",
+/// "client-forger"); nullptr for an unknown name. The `.fault` scenario
+/// format stores these names.
+std::shared_ptr<ClientStrategy> make_client_strategy_by_name(
+    const std::string& name);
+
+}  // namespace rubin::reptor

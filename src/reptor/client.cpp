@@ -1,6 +1,10 @@
 #include "reptor/client.hpp"
 
 #include <set>
+#include <utility>
+#include <vector>
+
+#include "reptor/byzantine_client.hpp"
 
 namespace rubin::reptor {
 
@@ -12,6 +16,21 @@ Client::Client(sim::Simulator& sim, std::unique_ptr<Transport> transport,
       cfg_(cfg) {}
 
 sim::Task<void> Client::start() { co_await transport_->start(); }
+
+void Client::send_request(NodeId peer, const SharedBytes& frame) {
+  if (!strategy_) {
+    transport_->send(peer, frame);
+    return;
+  }
+  ClientEnv env{*sim_, keys_, cfg_};
+  // The hook owns a private copy: mutating a broadcast-shared frame
+  // in-place would forge every other peer's copy too.
+  SharedBytes mine = SharedBytes::copy_of(frame.view());
+  std::vector<std::pair<NodeId, SharedBytes>> extra;
+  const bool send_genuine = strategy_->on_send(env, peer, mine, extra);
+  if (send_genuine) transport_->send(peer, mine);
+  for (auto& [to, f] : extra) transport_->send(to, f);
+}
 
 sim::Task<Bytes> Client::invoke(Bytes op) {
   const std::uint64_t id = next_id_++;
@@ -28,7 +47,7 @@ sim::Task<Bytes> Client::invoke(Bytes op) {
       encode_for_replicas(Envelope{cfg_.self, Message{req}}, keys_, cfg_.n);
 
   const sim::Time started = sim_->now();
-  transport_->send(primary_of(view_), frame);
+  send_request(primary_of(view_), frame);
   ++stats_.requests_sent;
 
   sim::Time retry_at = sim_->now() + cfg_.retry_timeout;
@@ -57,7 +76,7 @@ sim::Task<Bytes> Client::invoke(Bytes op) {
     if (sim_->now() >= retry_at) {
       // Primary silent or reply lost: tell everyone (PBFT's retransmit —
       // backups forward to the primary and start their watchdogs).
-      for (NodeId r = 0; r < cfg_.n; ++r) transport_->send(r, frame);
+      for (NodeId r = 0; r < cfg_.n; ++r) send_request(r, frame);
       ++stats_.retries;
       retry_at = sim_->now() + cfg_.retry_timeout;
     }
@@ -77,7 +96,7 @@ sim::Task<Bytes> Client::invoke_read_only(Bytes op) {
   const SharedBytes frame =
       encode_for_replicas(Envelope{cfg_.self, Message{req}}, keys_, cfg_.n);
   const sim::Time started = sim_->now();
-  for (NodeId r = 0; r < cfg_.n; ++r) transport_->send(r, frame);
+  for (NodeId r = 0; r < cfg_.n; ++r) send_request(r, frame);
   ++stats_.requests_sent;
 
   // One shot: wait for a 2f+1 matching quorum until the deadline, then

@@ -16,6 +16,8 @@
 
 namespace rubin::reptor {
 
+class ClientStrategy;  // byzantine_client.hpp
+
 struct ClientConfig {
   std::uint32_t n = 4;
   std::uint32_t f = 1;
@@ -56,10 +58,22 @@ class Client {
   const LatencyRecorder& latencies() const noexcept { return latency_; }
   std::uint64_t known_view() const noexcept { return view_; }
 
+  /// Installs a Byzantine client behaviour (byzantine_client.hpp): every
+  /// outbound REQUEST frame passes through its on_send hook. nullptr
+  /// restores the honest path at zero overhead.
+  void set_strategy(std::shared_ptr<ClientStrategy> strategy) {
+    strategy_ = std::move(strategy);
+  }
+
  private:
   NodeId primary_of(std::uint64_t v) const noexcept {
     return static_cast<NodeId>(v % cfg_.n);
   }
+
+  /// Single choke point for outbound REQUEST frames — the client-side
+  /// Byzantine seam. Honest clients fall straight through to the
+  /// transport.
+  void send_request(NodeId peer, const SharedBytes& frame);
 
   sim::Simulator* sim_;
   std::unique_ptr<Transport> transport_;
@@ -67,6 +81,7 @@ class Client {
   ClientConfig cfg_;
   std::uint64_t next_id_ = 1;
   std::uint64_t view_ = 0;
+  std::shared_ptr<ClientStrategy> strategy_;
   ClientStats stats_;
   LatencyRecorder latency_;
 };

@@ -13,6 +13,10 @@
 
 namespace rubin::reptor {
 
+namespace test_hooks {
+bool disable_reaffirm_decided = false;
+}  // namespace test_hooks
+
 namespace {
 
 /// First 64 bits of a digest — what decision-log ack cells carry. A
@@ -919,7 +923,8 @@ bool Replica::reaffirm_decided(std::uint64_t v, const PrePrepare& pp) {
   // re-issue must never get this replica's vote against its own history.
   const auto it = log_.find(pp.seq);
   if (it != log_.end() && it->second.pp &&
-      it->second.pp->digest == pp.digest) {
+      it->second.pp->digest == pp.digest &&
+      !test_hooks::disable_reaffirm_decided) {
     send_to_replicas(Message{Prepare{v, pp.seq, pp.digest}});
     send_to_replicas(Message{Commit{v, pp.seq, pp.digest}});
   }

@@ -344,4 +344,17 @@ class Replica {
   ReplicaStats stats_;
 };
 
+/// Known-bad regression switches for the FaultLab explorer's self-test:
+/// each flag reverts a real, previously-shipped bug so the schedule
+/// search can prove it would have found it. Production code never reads
+/// these outside the single guarded line per flag; tests must restore
+/// them to false.
+namespace test_hooks {
+/// Reverts the PR 4 view-change fix: replicas that already decided a
+/// re-issued sequence skip the PREPARE+COMMIT re-affirmation, so peers
+/// that lost the original quorum traffic can never commit it in the new
+/// view — a liveness bug under partition + view-change schedules.
+extern bool disable_reaffirm_decided;
+}  // namespace test_hooks
+
 }  // namespace rubin::reptor

@@ -139,13 +139,24 @@ sim::Task<void> RubinTransport::start() {
     selector_.register_channel(ch, nio::kOpAccept | nio::kOpReceive,
                                kAttachPeerBase + peer);
     adopt_channel(peer, std::move(ch));
+    // The hello is owed on first establishment, exactly as after a
+    // redial; maintain_connections() sends it (hello precedes any
+    // protocol frame because poll() runs maintenance before flush()).
+    conns_[peer].hello_sent = false;
+    conns_[peer].dial_time = ctx_->simulator().now();
   }
 
-  // Wait for every initiated connection; keep servicing our own accepts
-  // meanwhile (replica i>0 establishing to 0..i-1 while i+1..n-1 dial us).
+  // Wait for every initiated connection to establish *and* carry its
+  // hello; keep servicing our own accepts meanwhile (replica i>0
+  // establishing to 0..i-1 while i+1..n-1 dial us). Maintenance runs
+  // inside the loop: a connect or hello lost to fault injection at t=0
+  // must redial with backoff right here — poll() (the steady-state
+  // owner of redials) never runs until start() returns, so without this
+  // a single dropped handshake frame would wedge the node forever (a
+  // startup-liveness hole the FaultLab explorer found).
   auto all_up = [&] {
     for (NodeId peer : targets) {
-      if (!connected(peer)) return false;
+      if (!connected(peer) || !conns_[peer].hello_sent) return false;
     }
     return true;
   };
@@ -168,15 +179,7 @@ sim::Task<void> RubinTransport::start() {
         }
       }
     }
-  }
-
-  // Identify ourselves: the hello must be the first frame on the wire.
-  // Sent as SharedBytes so the payload outlives this frame if the config
-  // enables zero_copy_send (channel.hpp lifetime contract).
-  for (NodeId peer : targets) {
-    const SharedBytes hello = SharedBytes::copy_of(hello_frame(self_));
-    std::size_t n = 0;
-    while (n == 0) n = co_await conns_[peer].channel->write(hello);
+    co_await maintain_connections();
   }
   co_return;
 }

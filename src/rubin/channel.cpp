@@ -23,7 +23,7 @@ RdmaChannel::~RdmaChannel() {
   // pool's leak-at-destruction audit should only report slots the
   // application truly lost.
   flush_outstanding();
-  for (auto& [base, mr] : send_mr_cache_) ctx_->pd().deregister(mr);
+  for (auto& [key, mr] : send_mr_cache_) ctx_->pd().deregister(mr);
 }
 
 void RdmaChannel::flush_outstanding() {
@@ -208,8 +208,17 @@ sim::Task<bool> RdmaChannel::stage_message(ByteView msg,
     if (zero_copy) wr.shared_payload.append(*handle);
     ++stats_.inline_sends;
   } else if (cfg_.zero_copy_send) {
-    // Register (or reuse) the application buffer itself (§IV).
-    verbs::MemoryRegion*& cached = send_mr_cache_[msg.data()];
+    // Register (or reuse) the application buffer itself (§IV). See the
+    // send_mr_cache_ declaration for why handle-backed sends key by
+    // allocation id instead of address.
+    const MrKey key =
+        zero_copy
+            ? MrKey{handle->buffer_id(),
+                    handle->buffer_offset() +
+                        static_cast<std::uint64_t>(msg.data() -
+                                                   handle->data())}
+            : MrKey{0, reinterpret_cast<std::uint64_t>(msg.data())};
+    verbs::MemoryRegion*& cached = send_mr_cache_[key];
     if (cached == nullptr || cached->length() < msg.size()) {
       if (cached != nullptr) ctx_->pd().deregister(cached);
       co_await sim.sleep(cost.mr_register_time(msg.size()));

@@ -268,8 +268,17 @@ class RdmaChannel : public std::enable_shared_from_this<RdmaChannel> {
   std::uint32_t sends_since_signal_ = 0;
   std::uint64_t conn_id_ = 0;  // CM connection, 0 until known
 
-  /// Cached MRs for zero-copy sends, keyed by buffer base address.
-  std::map<const std::uint8_t*, verbs::MemoryRegion*> send_mr_cache_;
+  /// Cached MRs for zero-copy sends. Handle-backed sends key by
+  /// {SharedBytes::buffer_id(), byte offset}: allocation ids are never
+  /// reused, so the hit pattern is a pure function of the logical
+  /// message sequence — a heap address would alias recycled buffers and
+  /// make the registration *charge* depend on malloc history (a real
+  /// run-to-run nondeterminism the FaultLab explorer caught).
+  /// Raw ByteView sends (no handle) keep the classic address key
+  /// {0, address}: that models DiSNI's cache for app-owned long-lived
+  /// buffers, which are address-stable for the channel's lifetime.
+  using MrKey = std::pair<std::uint64_t, std::uint64_t>;
+  std::map<MrKey, verbs::MemoryRegion*> send_mr_cache_;
 
   /// Reusable WR staging for the write paths (see StagingLease).
   std::vector<verbs::SendWr> staging_;

@@ -213,7 +213,12 @@ class BftHarness {
   std::unique_ptr<verbs::ConnectionManager> cm_;
   std::vector<std::unique_ptr<verbs::Device>> devices_;
   std::vector<std::unique_ptr<nio::RubinContext>> contexts_;
-  nio::ChannelConfig channel_cfg_;
+  /// Starts from RubinTransport::default_config(), not a plain
+  /// ChannelConfig: the transport's curated default disables zero-copy
+  /// send because protocol messages live in transient heap buffers that
+  /// defeat the app-buffer MR cache (see transport_rubin.hpp). A plain
+  /// default silently re-enabled it for every harness-built transport.
+  nio::ChannelConfig channel_cfg_ = RubinTransport::default_config();
   /// Declared before replicas_: replicas hold raw pointers into the mesh
   /// and must be destroyed first.
   std::vector<std::unique_ptr<nio::DecisionLog>> dlogs_;

@@ -233,6 +233,78 @@ TEST(Lab, OneSidedFlagIsIgnoredOnNioBackend) {
   EXPECT_EQ(r.completions, r.expected_completions);
 }
 
+// ------------------------------------- Byzantine clients & new axes --
+
+TEST(Checker, ByzantineClientRequestsAreExemptFromForgeryRule) {
+  // Host 5 is a declared rogue client: whatever it gets committed under
+  // its own identity is "genuinely issued" by definition. Host 4 stays
+  // honest, so its unissued bytes still count as forgeries.
+  Checker c({true, true, true, true}, /*byzantine_clients=*/{5});
+  c.on_commit(0, 1, make_pp(1, 5, 1, "junk"));  // rogue's own junk: fine
+  EXPECT_EQ(c.forgeries(), 0u);
+  c.on_commit(0, 2, make_pp(2, 4, 1, "junk"));  // honest client forged
+  EXPECT_EQ(c.forgeries(), 1u);
+}
+
+TEST(Lab, ByzantineClientForgerDiesAtTheMacLayer) {
+  // Client 1 pairs every genuine REQUEST with a wrong-MAC copy and an
+  // impersonation of another identity. All of it must bounce off the
+  // replicas' MAC check (auth_failures > 0) and none of it may commit
+  // as an honest client's bytes (no_forgery).
+  auto s = find_scenario("f1-byz-client-forger");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_EQ(r.completions, r.expected_completions);
+  EXPECT_TRUE(r.verdict.no_forgery);
+  std::uint64_t auth_failures = 0;
+  for (reptor::NodeId rep = 0; rep < 4; ++rep) {
+    auth_failures += lab.replica(rep).stats().auth_failures;
+  }
+  EXPECT_GT(auth_failures, 0u) << "no forged frame reached a MAC check";
+}
+
+TEST(Lab, ByzantineClientReplayerCannotDoubleExecute) {
+  // Client 1 duplicates every send and replays stale recorded frames;
+  // request dedup and reply caching must absorb all of it — the honest
+  // client's 25 and the rogue's 25 complete exactly once each.
+  auto s = find_scenario("f1-byz-client-replayer");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_EQ(r.completions, r.expected_completions);
+  EXPECT_TRUE(r.verdict.safe);
+}
+
+TEST(Lab, SlowButCorrectPrimaryIsNotDeposed) {
+  // 2ms of extra delay on every primary link: commits lag but stay well
+  // inside the 10ms watchdog budget. final_view == 0 pins the
+  // false-positive side of failure detection — a view change here is a
+  // watchdog tuning regression, not a liveness save.
+  auto s = find_scenario("f1-slow-primary");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_EQ(r.completions, r.expected_completions);
+  EXPECT_EQ(r.final_view, 0u) << "watchdog deposed a slow-but-correct primary";
+}
+
+TEST(Lab, MidRunStrategyInstallTurnsAReplica) {
+  // Replica 2 runs honest until t=6ms, then a set_strategy() action
+  // mutes it mid-run. The remaining 2f+1 must finish without a view
+  // change (the primary is honest throughout).
+  auto s = find_scenario("f1-midrun-turncoat");
+  ASSERT_TRUE(s.has_value());
+  Lab lab(std::move(*s));
+  const Report r = lab.run();
+  EXPECT_TRUE(r.passed()) << r.verdict.detail;
+  EXPECT_EQ(r.completions, r.expected_completions);
+  EXPECT_EQ(r.final_view, 0u);
+}
+
 // ------------------------------------------- fault counters via stats --
 
 TEST(Lab, FabricFaultCountersFlowThroughStats) {

@@ -123,6 +123,87 @@ TEST_F(FabricTest, ExtraDelayAddsToArrival) {
   EXPECT_EQ(delayed - plain, sim::microseconds(50));
 }
 
+// The satellite fix this pins: the fault dice run on per-kind RNG
+// streams, so arming (or sweeping the probability of) one kind can never
+// shift another kind's schedule. Before the split, corrupt/duplicate/
+// reorder shared one stream — turning reorder on changed which frames
+// got dropped in otherwise-identical runs.
+TEST_F(FabricTest, PerKindFaultStreamsAreIndependent) {
+  const auto drop_schedule = [&](bool arm_others) {
+    sim::Simulator s;
+    Fabric f{s, cm, 2};
+    f.reseed_faults(42);
+    f.set_drop_rate(0.3);
+    if (arm_others) {
+      f.set_reorder_rate(0.5);
+      f.set_duplicate_rate(0.5);
+      f.set_corrupt_rate(0.5);
+    }
+    std::vector<bool> dropped;
+    f.set_frame_probe(
+        [&](const Fabric::FramePoint& p) { dropped.push_back(p.dropped); });
+    for (int i = 0; i < 200; ++i) f.transmit(0, 1, 10, [] {});
+    s.terminate_processes();
+    return dropped;
+  };
+  EXPECT_EQ(drop_schedule(false), drop_schedule(true));
+}
+
+TEST_F(FabricTest, ReseedCoversEveryFaultKindIncludingDrop) {
+  // Two fabrics reseeded identically roll identical dice for every kind;
+  // a different seed moves the drop schedule too (pre-split, the drop
+  // stream ignored reseed_faults entirely).
+  const auto schedule = [&](std::uint64_t seed) {
+    sim::Simulator s;
+    Fabric f{s, cm, 2};
+    f.reseed_faults(seed);
+    f.set_drop_rate(0.3);
+    f.set_duplicate_rate(0.3);
+    std::vector<std::pair<bool, Time>> plan;
+    f.set_frame_probe([&](const Fabric::FramePoint& p) {
+      plan.emplace_back(p.dropped, p.arrival);
+    });
+    for (int i = 0; i < 200; ++i) f.transmit(0, 1, 10, [] {});
+    s.terminate_processes();
+    return plan;
+  };
+  EXPECT_EQ(schedule(7), schedule(7));
+  EXPECT_NE(schedule(7), schedule(8));
+}
+
+TEST_F(FabricTest, FrameProbeNumbersEveryDecisionPointIncludingDrops) {
+  fabric.set_partitioned(0, 1, true);
+  std::vector<Fabric::FramePoint> points;
+  fabric.set_frame_probe(
+      [&](const Fabric::FramePoint& p) { points.push_back(p); });
+  fabric.transmit(0, 1, 10, [] {});  // partitioned: dropped
+  fabric.transmit(2, 3, 10, [] {});
+  sim.run();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].index, 0u);
+  EXPECT_TRUE(points[0].dropped);
+  EXPECT_EQ(points[1].index, 1u);
+  EXPECT_FALSE(points[1].dropped);
+  EXPECT_EQ(points[1].src, 2u);
+  EXPECT_EQ(points[1].dst, 3u);
+  fabric.reset_frame_counter();
+  EXPECT_EQ(fabric.frame_counter(), 0u);
+}
+
+TEST_F(FabricTest, FrameExtraDelaySwapsDeliveryOrder) {
+  // Delay decision point 0 past point 1's arrival: the second-sent frame
+  // (from a different source, so no shared egress) is delivered first —
+  // the explorer's targeted delivery-order swap.
+  std::vector<int> order;
+  fabric.set_frame_extra_delay(0, sim::microseconds(40));
+  fabric.transmit(0, 1, 100, [&] { order.push_back(0); });
+  fabric.transmit(2, 1, 100, [&] { order.push_back(1); });
+  sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+}
+
 TEST_F(FabricTest, InvalidHostThrows) {
   EXPECT_THROW(fabric.transmit(0, 99, 10, [] {}), std::out_of_range);
   EXPECT_THROW(fabric.transmit(99, 0, 10, [] {}), std::out_of_range);

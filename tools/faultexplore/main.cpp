@@ -1,0 +1,198 @@
+// faultexplore — FaultLab schedule-space explorer CLI (DESIGN.md §14).
+//
+//   faultexplore                         # explore the CI smoke scenarios
+//   faultexplore --all                   # explore the whole corpus
+//   faultexplore --scenario <name> ...   # explore specific scenarios
+//   faultexplore --fault-file <path>     # explore scenarios from a .fault
+//   faultexplore --budget N              # runs per scenario (default 200)
+//   faultexplore --out <dir>             # where failing artifacts land
+//   faultexplore --list                  # list corpus scenario names
+//   faultexplore --replay <artifact>     # reproduce a failing schedule
+//
+// Exit code: 0 when every explored schedule passed (or a replay
+// reproduced its digests bit-identically), 1 otherwise. Failing
+// schedules are auto-minimized and written as replayable artifacts.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "faultlab/corpus.hpp"
+#include "faultlab/explore.hpp"
+#include "faultlab/fault_file.hpp"
+#include "reptor/replica.hpp"
+
+namespace {
+
+using namespace rubin;
+using namespace rubin::faultlab;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--all] [--scenario <name>]... [--fault-file <p>]\n"
+               "          [--budget N] [--no-minimize] [--out <dir>] [--list]\n"
+               "          [--replay <artifact>]\n",
+               argv0);
+  return 2;
+}
+
+int replay(const std::string& path) {
+  const Artifact art = load_artifact(path);
+  Explorer ex;
+  const ScheduleResult r = ex.run_schedule(art.scenario, art.perturbations);
+  const bool trace_ok = r.trace_digest == art.trace_digest;
+  const bool commit_ok = r.report.verdict.commit_digest == art.commit_digest;
+  std::printf("replay %-28s trace %s commit %s verdict %s\n",
+              art.scenario.name.c_str(), trace_ok ? "match" : "MISMATCH",
+              commit_ok ? "match" : "MISMATCH",
+              r.violation ? "violation (reproduced)" : "pass");
+  if (!trace_ok) {
+    std::printf("  expected trace  %#018llx, got %#018llx\n",
+                static_cast<unsigned long long>(art.trace_digest),
+                static_cast<unsigned long long>(r.trace_digest));
+  }
+  if (!commit_ok) {
+    std::printf("  expected commit %#018llx, got %#018llx\n",
+                static_cast<unsigned long long>(art.commit_digest),
+                static_cast<unsigned long long>(r.report.verdict.commit_digest));
+  }
+  if (!r.report.verdict.detail.empty()) {
+    std::printf("  detail: %s\n", r.report.verdict.detail.c_str());
+  }
+  return trace_ok && commit_ok ? 0 : 1;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("  wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExploreOptions opts;
+  std::vector<std::string> names;
+  std::string fault_file;
+  std::string out_dir = ".";
+  bool all = false;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--replay") {
+      const char* p = next();
+      if (p == nullptr) return usage(argv[0]);
+      try {
+        return replay(p);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "replay failed: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--scenario") {
+      const char* p = next();
+      if (p == nullptr) return usage(argv[0]);
+      names.push_back(p);
+    } else if (arg == "--fault-file") {
+      const char* p = next();
+      if (p == nullptr) return usage(argv[0]);
+      fault_file = p;
+    } else if (arg == "--budget") {
+      const char* p = next();
+      if (p == nullptr) return usage(argv[0]);
+      opts.budget = static_cast<std::uint32_t>(std::strtoul(p, nullptr, 10));
+    } else if (arg == "--out") {
+      const char* p = next();
+      if (p == nullptr) return usage(argv[0]);
+      out_dir = p;
+    } else if (arg == "--no-minimize") {
+      opts.minimize = false;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--inject-known-bad") {
+      // Regression demo: reverts the reaffirm-decided fix (a laggard that
+      // re-sends PREPARE for a decided seq no longer gets the quorum
+      // replayed at it) so the explorer has a real bug to find.
+      reptor::test_hooks::disable_reaffirm_decided = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (list) {
+    for (const Scenario& s : corpus()) {
+      std::printf("%-30s %s\n", s.name.c_str(), s.description.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<Scenario> targets;
+  try {
+    if (!fault_file.empty()) {
+      targets = load_fault_file(fault_file);
+    } else if (all) {
+      targets = corpus();
+    } else if (!names.empty()) {
+      for (const std::string& n : names) {
+        auto s = find_scenario(n);
+        if (!s) {
+          std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                       n.c_str());
+          return 2;
+        }
+        targets.push_back(std::move(*s));
+      }
+    } else {
+      targets = smoke_corpus();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("faultexplore: %zu scenario(s), budget %u runs each\n\n",
+              targets.size(), opts.budget);
+  std::printf("%-30s %6s %7s %6s %5s\n", "scenario", "runs", "unique",
+              "dedup", "viol");
+
+  Explorer ex(opts);
+  std::uint64_t total_unique = 0;
+  std::uint64_t total_violations = 0;
+  for (const Scenario& s : targets) {
+    const ExploreReport rep = ex.explore(s);
+    std::printf("%-30s %6llu %7llu %6llu %5llu\n", rep.scenario.c_str(),
+                static_cast<unsigned long long>(rep.runs),
+                static_cast<unsigned long long>(rep.unique_schedules),
+                static_cast<unsigned long long>(rep.dedup_hits),
+                static_cast<unsigned long long>(rep.violations));
+    total_unique += rep.unique_schedules;
+    total_violations += rep.violations;
+    for (std::size_t k = 0; k < rep.failures.size(); ++k) {
+      const ScheduleResult& f = rep.failures[k];
+      std::printf("  violation: %s (%zu perturbation(s) after "
+                  "minimization)\n",
+                  f.report.verdict.detail.empty()
+                      ? "(no detail)"
+                      : f.report.verdict.detail.c_str(),
+                  f.perturbations.size());
+      write_file(out_dir + "/" + rep.scenario + "-fail-" +
+                     std::to_string(k) + ".fault",
+                 to_artifact_text(s, f));
+    }
+  }
+  std::printf("\ntotal: %llu unique schedules, %llu violation(s)\n",
+              static_cast<unsigned long long>(total_unique),
+              static_cast<unsigned long long>(total_violations));
+  return total_violations == 0 ? 0 : 1;
+}
